@@ -1,0 +1,89 @@
+"""Ablation: buffer organization — per-wire pools vs switch-shared memory.
+
+DESIGN.md models Aries' ingress as one shared pool per switch (so transit
+congestion starves unrelated arrivals) and Rosetta's as dedicated
+per-wire pools.  This bench isolates the *organization* at matched total
+capacity (one 256 KiB pool per switch vs 16 KiB dedicated per wire on a
+~16-wire switch): the same no-endpoint-CC network is built both ways and
+hit with the same incast.
+
+Two effects are visible and both are reported: with a clean (linear)
+placement, per-wire pools isolate victims from transit congestion, while
+shared memory couples them; total-capacity differences (not tested here)
+would separately deepen queues.
+"""
+
+import dataclasses
+
+from conftest import get_systems, run_once, save_result
+from repro.analysis import render_table
+from repro.network.fabric import LinkSpec
+from repro.network.units import KiB, MS
+from repro.workloads import (
+    allreduce_bench,
+    congestion_impact,
+    incast_congestor,
+    split_nodes,
+)
+
+NODES = list(range(64))
+SWITCH_BYTES = 256 * KiB
+
+
+def _with_buffer(spec: LinkSpec, nbytes: float) -> LinkSpec:
+    return dataclasses.replace(spec, buffer_bytes=nbytes)
+
+
+def test_ablation_buffer_sharing(benchmark, report):
+    crystal, _, _ = get_systems()
+
+    def run_grid():
+        out = {}
+        for policy in ("linear", "random"):
+            victim_nodes, aggressor_nodes = split_nodes(NODES, 32, policy, seed=3)
+            for shared in (True, False):
+                base = crystal(shared_switch_buffers=shared)
+                if not shared:
+                    # Matched capacity: split the switch's pool across
+                    # its ~16 wires.
+                    per_wire = SWITCH_BYTES / 16
+                    base = base.with_(
+                        host_link=_with_buffer(base.host_link, per_wire),
+                        local_link=_with_buffer(base.local_link, per_wire),
+                        global_link=_with_buffer(base.global_link, per_wire),
+                    )
+                out[(policy, shared)] = congestion_impact(
+                    base,
+                    victim_nodes,
+                    allreduce_bench(8, iterations=6),
+                    aggressor_nodes,
+                    incast_congestor(),
+                    max_ns=400 * MS,
+                )["impact"]
+        return out
+
+    results = run_once(benchmark, run_grid)
+    rows = []
+    for policy in ("linear", "random"):
+        rows.append(
+            [
+                policy,
+                f"{results[(policy, True)]:.2f}",
+                f"{results[(policy, False)]:.2f}",
+            ]
+        )
+    table = render_table(
+        ["placement", "switch-shared pool C", "per-wire pools C"],
+        rows,
+        title="Ablation — ingress buffer organization at matched capacity "
+        "(no endpoint CC)",
+    )
+    report(table)
+    save_result("ablation_buffers", table)
+
+    # With a clean linear placement, shared ingress memory couples the
+    # victim to transit congestion that per-wire pools would isolate.
+    assert results[("linear", True)] >= results[("linear", False)]
+    # Tree saturation is visible somewhere in every organization.
+    assert results[("random", True)] > 2.0
+    assert results[("random", False)] > 2.0

@@ -1,0 +1,76 @@
+"""Ablation: which congestion control protects victims, and when.
+
+Not a figure in the paper, but the experiment behind its §II-D
+argument: per-pair, per-ack control (Slingshot) vs a slow ECN-style loop
+vs nothing (Aries' effective configuration), all on identical Slingshot
+hardware so only the algorithm differs.  Persistent and bursty incast
+are measured separately because the slow loop converges eventually —
+its weakness is the transient.
+"""
+
+import numpy as np
+
+from conftest import get_systems, run_once, save_result
+from repro.analysis import render_table
+from repro.network.units import KiB, MS, US
+from repro.workloads import (
+    allreduce_bench,
+    bursty_incast_congestor,
+    congestion_impact,
+    incast_congestor,
+    split_nodes,
+)
+
+NODES = list(range(64))
+CCS = ["slingshot", "ecn", "none"]
+
+
+def _impacts(config_factory):
+    victim_nodes, aggressor_nodes = split_nodes(NODES, 32, "random", seed=3)
+    out = {}
+    for cc in CCS:
+        cfg = config_factory(cc=cc)
+        persistent = congestion_impact(
+            cfg,
+            victim_nodes,
+            allreduce_bench(8, iterations=6),
+            aggressor_nodes,
+            incast_congestor(),
+            max_ns=400 * MS,
+        )["impact"]
+        bursty = congestion_impact(
+            cfg,
+            victim_nodes,
+            allreduce_bench(8, iterations=6),
+            aggressor_nodes,
+            bursty_incast_congestor(
+                message_bytes=128 * KiB, burst_size=64, gap_ns=200 * US
+            ),
+            warmup_ns=0.0,
+            max_ns=400 * MS,
+        )["impact"]
+        out[cc] = (persistent, bursty)
+    return out
+
+def test_ablation_congestion_control(benchmark, report):
+    _, malbec, _ = get_systems()
+    results = run_once(benchmark, lambda: _impacts(malbec))
+    rows = [
+        [cc, f"{results[cc][0]:.2f}", f"{results[cc][1]:.2f}"] for cc in CCS
+    ]
+    table = render_table(
+        ["congestion control", "persistent incast C", "bursty incast C"],
+        rows,
+        title="Ablation — CC algorithm on identical Slingshot hardware",
+    )
+    report(table)
+    save_result("ablation_cc", table)
+
+    # No endpoint CC: tree saturation, order-of-magnitude damage.
+    assert results["none"][0] > 5 * results["slingshot"][0]
+    # Slingshot tames persistent incast almost completely.
+    assert results["slingshot"][0] < 1.5
+    # The slow loop is never better than the per-ack loop, and the gap
+    # does not vanish for bursts (the paper's transient argument).
+    assert results["ecn"][0] >= results["slingshot"][0] * 0.95
+    assert results["ecn"][1] >= results["slingshot"][1] * 0.95

@@ -1,0 +1,95 @@
+"""Engine throughput: how fast does the substrate simulate?
+
+Not a paper figure — the capacity check that bounds every other bench:
+raw event throughput of the DES core, packet throughput of the fabric,
+and the cost of one congested heatmap cell.  These numbers are what
+justify the mini-scale default (DESIGN.md §1).
+"""
+
+import time
+
+from conftest import run_once, save_result
+from repro.analysis import render_table
+from repro.network.units import KiB, MS
+from repro.sim import Simulator
+from repro.systems import crystal_mini, malbec_mini
+
+
+def test_engine_raw_event_throughput(benchmark, report):
+    N = 200_000
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < N:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        t0 = time.perf_counter()
+        sim.run()
+        return N / (time.perf_counter() - t0)
+
+    rate = run_once(benchmark, run)
+    table = render_table(
+        ["metric", "value"],
+        [["event throughput", f"{rate / 1e6:.2f} M events/s"]],
+        title="Engine throughput (self-rescheduling timer chain)",
+    )
+    report(table)
+    save_result("engine_events", table)
+    assert rate > 100_000  # sanity floor
+
+
+def test_fabric_packet_throughput(benchmark, report):
+    def run():
+        fabric = malbec_mini().build()
+        n = fabric.topology.n_nodes
+        for i in range(n):
+            fabric.send(i, (i + n // 2) % n, 256 * KiB)
+        t0 = time.perf_counter()
+        fabric.sim.run()
+        wall = time.perf_counter() - t0
+        return fabric.packets_delivered() / wall, fabric.sim.events_processed / wall
+
+    pkt_rate, ev_rate = run_once(benchmark, run)
+    table = render_table(
+        ["metric", "value"],
+        [
+            ["packets simulated", f"{pkt_rate:,.0f} pkt/s"],
+            ["fabric events", f"{ev_rate:,.0f} ev/s"],
+        ],
+        title="Fabric throughput (80-node bisection stream)",
+    )
+    report(table)
+    save_result("engine_fabric", table)
+    assert pkt_rate > 1_000
+
+
+def test_congested_cell_cost(benchmark, report):
+    """Wall-clock of one Aries incast heatmap cell (the bench budget unit)."""
+    from repro.workloads import allreduce_bench, congestion_impact, incast_congestor, split_nodes
+
+    def run():
+        vic, agg = split_nodes(list(range(64)), 32, "random", seed=3)
+        t0 = time.perf_counter()
+        congestion_impact(
+            crystal_mini(),
+            vic,
+            allreduce_bench(8, iterations=6),
+            agg,
+            incast_congestor(),
+            max_ns=400 * MS,
+        )
+        return time.perf_counter() - t0
+
+    wall = run_once(benchmark, run)
+    table = render_table(
+        ["metric", "value"],
+        [["one congested heatmap cell", f"{wall:.1f} s"]],
+        title="Cost of one Fig. 9 cell (isolated + congested runs)",
+    )
+    report(table)
+    save_result("engine_cell_cost", table)

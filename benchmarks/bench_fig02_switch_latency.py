@@ -1,0 +1,78 @@
+"""Figure 2: distribution of Rosetta switch latency for RoCE traffic.
+
+Paper: mean and median 350 ns, the whole distribution between 300 and
+400 ns except a few outliers.  Regenerated from the tile-level model
+(`repro.core.rosetta`) and cross-checked against the fabric's 2-hop
+minus 1-hop measurement, which is how the paper derived it.
+"""
+
+import numpy as np
+
+from conftest import run_once, save_result
+from repro.analysis import render_table
+from repro.core.rosetta import RosettaModel
+from repro.systems import malbec_mini
+
+N_SAMPLES = 20_000
+
+
+def _sample_model():
+    return RosettaModel(seed=7).latency_samples(N_SAMPLES)
+
+
+def test_fig02_switch_latency_distribution(benchmark, report):
+    samples = run_once(benchmark, _sample_model)
+
+    mean, median = float(np.mean(samples)), float(np.median(samples))
+    p1, p99 = np.percentile(samples, [1, 99])
+    in_band = float(np.mean((samples >= 300) & (samples <= 400)))
+
+    rows = [
+        ["mean", f"{mean:.0f} ns", "350 ns"],
+        ["median", f"{median:.0f} ns", "350 ns"],
+        ["1st percentile", f"{p1:.0f} ns", ">= 300 ns"],
+        ["99th percentile", f"{p99:.0f} ns", "<= 400 ns"],
+        ["fraction in 300-400 ns", f"{in_band * 100:.1f}%", "~all but outliers"],
+    ]
+    table = render_table(
+        ["statistic", "measured", "paper"],
+        rows,
+        title=f"Fig. 2 — Rosetta traversal latency ({N_SAMPLES} samples)",
+    )
+    report(table)
+    save_result("fig02_switch_latency", table)
+
+    assert abs(mean - 350) < 15
+    assert abs(median - 350) < 15
+    assert in_band > 0.95
+
+
+def test_fig02_fabric_two_hop_minus_one_hop(benchmark, report):
+    """The paper's methodology: switch latency = 2-hop minus 1-hop
+    end-to-end latency.  Our fabric model must be self-consistent with
+    its configured pipeline latency."""
+
+    def measure():
+        lat = {}
+        for label, dst in (("1hop", 1), ("2hop", 4)):
+            fabric = malbec_mini().build()
+            msg = fabric.send(0, dst, 8)
+            fabric.sim.run()
+            lat[label] = msg.complete_time - msg.submit_time
+        return lat
+
+    lat = run_once(benchmark, measure)
+    delta = lat["2hop"] - lat["1hop"]
+    cfg_latency = malbec_mini().switch_latency
+    table = render_table(
+        ["path", "latency (ns)"],
+        [["1 inter-switch hop", f"{lat['1hop']:.0f}"],
+         ["2 inter-switch hops", f"{lat['2hop']:.0f}"],
+         ["difference (switch latency)", f"{delta:.0f}"]],
+        title="Fig. 2 methodology — per-switch latency from hop difference",
+    )
+    report(table)
+    save_result("fig02_hop_difference", table)
+    # The difference is one extra switch + one extra wire; the switch
+    # pipeline dominates.
+    assert cfg_latency * 0.8 <= delta <= cfg_latency * 1.8

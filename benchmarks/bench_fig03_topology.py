@@ -1,0 +1,64 @@
+"""Figure 3: the Slingshot dragonfly topology and its design arithmetic.
+
+Paper: the largest 1-D dragonfly from 64-port Rosetta switches has 545
+groups of 32 switches (31 local + 17 global + 16 host ports each),
+544 global links per group, and 279,040 endpoints; the addressing
+scheme limits deployments to 511 groups / 261,632 nodes.
+"""
+
+from conftest import run_once, save_result
+from repro.analysis import render_table
+from repro.network.dragonfly import DragonflyParams, DragonflyTopology, largest_system
+
+
+def test_fig03_largest_system_math(benchmark, report):
+    ls = run_once(benchmark, largest_system)
+    rows = [
+        ["switches per group", ls.switches_per_group, 32],
+        ["global ports per switch", ls.global_ports_per_switch, 17],
+        ["global links per group", ls.global_links_per_group, 544],
+        ["groups", ls.n_groups, 545],
+        ["nodes per group", ls.nodes_per_group, 512],
+        ["endpoints", f"{ls.n_endpoints:,}", "279,040"],
+        ["addressable groups", ls.addressing_group_limit, 511],
+        ["addressable endpoints", f"{ls.addressable_endpoints:,}", "261,632"],
+    ]
+    table = render_table(
+        ["quantity", "computed", "paper"],
+        rows,
+        title="Fig. 3 — largest 1-D dragonfly from Rosetta switches",
+    )
+    report(table)
+    save_result("fig03_largest_system", table)
+    assert ls.n_groups == 545
+    assert ls.n_endpoints == 279_040
+    assert ls.addressable_endpoints == 261_632
+
+
+def test_fig03_wiring_scales(benchmark, report):
+    """Build a mid-size dragonfly and verify its wiring invariants (the
+    benchmark times the full wiring pass)."""
+    params = DragonflyParams(16, 16, 17, links_per_pair=2)
+
+    def build():
+        return DragonflyTopology(params)
+
+    topo = run_once(benchmark, build)
+    g = params.n_groups
+    pairs = g * (g - 1) // 2
+    assert len(topo.all_global_links()) == pairs * params.links_per_pair
+    for gj in range(1, g):
+        assert topo.gateways(0, gj)
+    table = render_table(
+        ["quantity", "value"],
+        [
+            ["groups", g],
+            ["switches", topo.n_switches],
+            ["nodes", topo.n_nodes],
+            ["global links", len(topo.all_global_links())],
+            ["local links", len(topo.all_local_links())],
+        ],
+        title="Fig. 3 — 17-group dragonfly wiring",
+    )
+    report(table)
+    save_result("fig03_wiring", table)

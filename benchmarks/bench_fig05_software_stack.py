@@ -1,0 +1,90 @@
+"""Figure 5: RTT/2 for different message sizes and software layers.
+
+Paper: IB verbs < libfabric < MPI (all close, ~1.3-2 us at 8 B) with UDP
+and TCP an order of magnitude above; all RDMA paths converge to wire
+bandwidth at large sizes; MPI adds only marginal overhead to libfabric
+for small messages.
+"""
+
+from conftest import run_once, save_result
+from repro.analysis import render_series, render_table
+from repro.mpi import MpiWorld, half_rtt
+from repro.network.units import KiB, MiB
+from repro.systems import malbec_mini
+
+SIZES = [8, 64, 512, 1 * KiB, 8 * KiB, 128 * KiB, 1 * MiB, 16 * MiB]
+LAYERS = ["ib_verbs", "libfabric", "mpi", "udp", "tcp"]
+
+
+def test_fig05_half_rtt_curves(benchmark, report):
+    def compute():
+        return {
+            layer: [half_rtt(size, layer) for size in SIZES] for layer in LAYERS
+        }
+
+    curves = run_once(benchmark, compute)
+    cols = {layer: [v / 1e3 for v in curves[layer]] for layer in LAYERS}
+    table = render_series(
+        "size(B)",
+        SIZES,
+        cols,
+        title="Fig. 5 — RTT/2 (us) per software layer",
+        fmt="{:.1f}",
+    )
+    report(table)
+    save_result("fig05_software_stack", table)
+
+    # ordering at small sizes: verbs < libfabric < mpi << udp < tcp
+    small = [curves[l][0] for l in LAYERS]
+    assert small == sorted(small)
+    assert curves["udp"][0] > 4 * curves["mpi"][0]
+    # MPI adds only marginal overhead to libfabric at small sizes (paper)
+    assert curves["mpi"][0] / curves["libfabric"][0] < 1.4
+    # convergence at 16 MiB for the RDMA paths
+    assert curves["mpi"][-1] / curves["ib_verbs"][-1] < 1.1
+    # sockets stay behind even at 16 MiB (copy-limited)
+    assert curves["tcp"][-1] > curves["mpi"][-1] * 1.3
+
+
+def test_fig05_mpi_layer_cross_checked_against_simulator(benchmark, report):
+    """The analytic 'mpi' curve must agree with an actual simulated MPI
+    pingpong on a quiet fabric (within modelling tolerance)."""
+
+    def measure():
+        out = {}
+        for size in (8, 1 * KiB, 128 * KiB):
+            fabric = malbec_mini().build()
+            world = MpiWorld(fabric, nodes=[0, 20], stack="mpi")
+            times = []
+
+            def main(rank, size=size, times=times):
+                for it in range(10):
+                    if rank.rank == 0:
+                        t0 = rank.sim.now
+                        yield rank.send(1, size, tag=it)
+                        yield rank.recv(1, tag=it)
+                        times.append((rank.sim.now - t0) / 2)
+                    else:
+                        yield rank.recv(0, tag=it)
+                        yield rank.send(0, size, tag=it)
+
+            world.spawn(main)
+            fabric.sim.run()
+            out[size] = sum(times) / len(times)
+        return out
+
+    measured = run_once(benchmark, measure)
+    rows = []
+    for size, sim_ns in measured.items():
+        analytic = half_rtt(size, "mpi")
+        rows.append(
+            [f"{size}B", f"{sim_ns / 1e3:.2f}us", f"{analytic / 1e3:.2f}us"]
+        )
+        assert 0.4 < sim_ns / analytic < 2.5
+    table = render_table(
+        ["size", "simulated RTT/2", "analytic RTT/2"],
+        rows,
+        title="Fig. 5 — simulator vs analytic stack model (MPI layer)",
+    )
+    report(table)
+    save_result("fig05_cross_check", table)

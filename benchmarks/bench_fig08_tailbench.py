@@ -1,0 +1,93 @@
+"""Figure 8: Tailbench latency distributions with and without incast.
+
+Paper (linear allocation, 10%/90% victim/aggressor): on Aries, silo,
+xapian and img-dnn collapse under congestion (means and tails explode,
+e.g. silo 0.5 -> 15.7 ms p99) while sphinx degrades mildly because its
+compute dominates; on Slingshot no application is meaningfully affected.
+"""
+
+import numpy as np
+
+from conftest import get_systems, run_once, save_result
+from repro.analysis import render_table
+from repro.network.units import MS
+from repro.workloads import (
+    TAILBENCH_APPS,
+    incast_congestor,
+    run_workload,
+    split_nodes,
+    tailbench_client_server,
+)
+
+NODES = list(range(64))
+N_REQUESTS = 12
+
+
+def _distributions(config):
+    """{(app, 'isolated'|'congested'): request latencies}"""
+    victim_nodes, aggressor_nodes = split_nodes(NODES, 6, "linear")  # 10%/90%
+    out = {}
+    for app_name, app in TAILBENCH_APPS.items():
+        wl = lambda: tailbench_client_server(app, n_requests=N_REQUESTS)
+        # client on the victim's first node, server on its last: the RPC
+        # spans the allocation, like a real deployment would.
+        iso = run_workload(config, victim_nodes, wl(), max_ns=400 * MS)
+        cong = run_workload(
+            config,
+            victim_nodes,
+            wl(),
+            aggressor_nodes=aggressor_nodes,
+            aggressor=incast_congestor(),
+            warmup_ns=1 * MS,
+            max_ns=400 * MS,
+        )
+        out[(app_name, "isolated")] = iso.iteration_times
+        out[(app_name, "congested")] = cong.iteration_times
+    return out
+
+
+def _render(dists, system_name):
+    rows = []
+    impacts = {}
+    for app_name in TAILBENCH_APPS:
+        iso = np.array(dists[(app_name, "isolated")])
+        cong = np.array(dists[(app_name, "congested")])
+        impacts[app_name] = cong.mean() / iso.mean()
+        rows.append(
+            [
+                app_name,
+                f"{iso.mean() / 1e3:.1f}",
+                f"{np.percentile(iso, 95) / 1e3:.1f}",
+                f"{cong.mean() / 1e3:.1f}",
+                f"{np.percentile(cong, 95) / 1e3:.1f}",
+                f"{impacts[app_name]:.2f}x",
+            ]
+        )
+    table = render_table(
+        ["app", "iso mean(us)", "iso p95", "cong mean(us)", "cong p95", "impact"],
+        rows,
+        title=f"Fig. 8 — Tailbench under incast on {system_name}",
+    )
+    return table, impacts
+
+
+def test_fig08_tailbench_aries(benchmark, report):
+    crystal, _, _ = get_systems()
+    dists = run_once(benchmark, lambda: _distributions(crystal()))
+    table, impacts = _render(dists, "Aries")
+    report(table)
+    save_result("fig08_aries", table)
+    # Network-bound apps visibly degrade on Aries...
+    assert max(impacts["silo"], impacts["xapian"], impacts["img-dnn"]) > 1.5
+    # ...but sphinx (compute-heavy) degrades the least of the bunch.
+    assert impacts["sphinx"] <= min(impacts["silo"], impacts["img-dnn"]) + 0.5
+
+
+def test_fig08_tailbench_slingshot(benchmark, report):
+    _, malbec, _ = get_systems()
+    dists = run_once(benchmark, lambda: _distributions(malbec()))
+    table, impacts = _render(dists, "Slingshot")
+    report(table)
+    save_result("fig08_slingshot", table)
+    # Paper: "we do not observe any relevant effect on SLINGSHOT".
+    assert max(impacts.values()) < 1.3

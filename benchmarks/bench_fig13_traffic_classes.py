@@ -1,0 +1,85 @@
+"""Figure 13: traffic classes protect a latency-sensitive collective.
+
+Paper (Malbec tapered to 25% bandwidth, two 64-node jobs interleaved):
+an 8 B MPI_Allreduce co-running with a 256 KiB MPI_Alltoall suffers
+2.85x in the same traffic class but only 1.15x in a separate class.
+"""
+
+from conftest import get_systems, run_once, save_result
+from repro.analysis import render_table
+from repro.core.traffic_classes import TrafficClass
+from repro.network.fabric import LinkSpec
+from repro.network.units import KiB, MS, gbps
+from repro.workloads import alltoall_congestor, run_workload, split_nodes
+
+NODES = list(range(64))
+
+
+def _config(sys_factory):
+    classes = [
+        TrafficClass("latency", priority=1, min_share=0.25, max_share=0.5),
+        TrafficClass("bulk", priority=0, min_share=0.25),
+    ]
+    # the paper tapers the network to 25% of its bandwidth
+    taper = LinkSpec(gbps(200) * 0.25, 300.0, 48 * KiB)
+    return sys_factory(classes=classes, global_link=taper)
+
+
+def _allreduce_victim(iterations=8):
+    def main(rank, record):
+        for it in range(iterations):
+            t0 = rank.sim.now
+            yield from rank.allreduce(8)
+            record(it, rank.sim.now - t0)
+
+    main.name = "allreduce-8B"
+    return main
+
+
+def _scenario(config, victim_nodes, bully_nodes, aggressor_tc):
+    return run_workload(
+        config,
+        victim_nodes,
+        _allreduce_victim(),
+        aggressor_nodes=bully_nodes,
+        aggressor=alltoall_congestor(256 * KiB),
+        aggressor_ppn=2,
+        victim_tc=0,
+        aggressor_tc=aggressor_tc,
+        warmup_ns=0.5 * MS,
+        max_ns=300 * MS,
+    ).mean()
+
+
+def test_fig13_traffic_class_isolation(benchmark, report):
+    _, malbec, _ = get_systems()
+    config = _config(malbec)
+    victim_nodes, bully_nodes = split_nodes(NODES, 32, "interleaved")
+
+    def run_all():
+        isolated = run_workload(
+            config, victim_nodes, _allreduce_victim(), max_ns=300 * MS
+        ).mean()
+        same = _scenario(config, victim_nodes, bully_nodes, aggressor_tc=0)
+        separate = _scenario(config, victim_nodes, bully_nodes, aggressor_tc=1)
+        return isolated, same, separate
+
+    isolated, same, separate = run_once(benchmark, run_all)
+    impact_same = same / isolated
+    impact_separate = separate / isolated
+    table = render_table(
+        ["scenario", "allreduce time", "impact", "paper"],
+        [
+            ["isolated", f"{isolated / 1e3:.1f}us", "1.00x", "1.00x"],
+            ["same TC as alltoall", f"{same / 1e3:.1f}us", f"{impact_same:.2f}x", "2.85x"],
+            ["separate TC", f"{separate / 1e3:.1f}us", f"{impact_separate:.2f}x", "1.15x"],
+        ],
+        title="Fig. 13 — 8B allreduce vs 256KiB alltoall (tapered Malbec)",
+    )
+    report(table)
+    save_result("fig13_traffic_classes", table)
+
+    # Shape: sharing a class hurts; a separate class restores most of it.
+    assert impact_same > 1.5
+    assert impact_separate < 0.6 * impact_same
+    assert impact_separate < 1.6

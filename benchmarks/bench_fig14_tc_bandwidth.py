@@ -1,0 +1,143 @@
+"""Figure 14: bandwidth timelines of two jobs under traffic classes.
+
+Paper (tapered Malbec, two bisection-bandwidth jobs, the second starting
+later): in the same class, the bandwidth is split fairly while both run
+and the survivor ramps to 100% when the first job ends; with TC1
+guaranteed 80% and TC2 guaranteed 10%, the observed split is 80/20 —
+the unreserved 10% goes to the class with the lowest share — and the
+survivor again takes everything at the end.
+
+Reproduced twice: exactly with the fluid model, and approximately with
+the packet simulator (rate meters over the global links).
+"""
+
+import numpy as np
+
+from conftest import get_systems, run_once, save_result
+from repro.analysis import render_table
+from repro.core.traffic_classes import TrafficClass
+from repro.flowsim import FluidBottleneck, FluidJob
+from repro.network.fabric import LinkSpec
+from repro.network.units import KiB, MS, US, gbps
+from repro.sim import RateMeter
+from repro.mpi import MpiWorld
+from repro.workloads import split_nodes
+
+CLASSES = [
+    TrafficClass("tc1", min_share=0.8),
+    TrafficClass("tc2", min_share=0.1),
+]
+
+
+def test_fig14_fluid_timeline(benchmark, report):
+    def run_fluid():
+        bn = FluidBottleneck(10.0, CLASSES)
+        j1 = bn.add_job(FluidJob(start_ns=0.0, nbytes=200.0, tc=0, name="job1"))
+        j2 = bn.add_job(FluidJob(start_ns=5.0, nbytes=150.0, tc=1, name="job2"))
+        bn.run()
+        return j1, j2
+
+    j1, j2 = run_once(benchmark, run_fluid)
+    probes = [2.0, 6.0, 26.0]
+    rows = [
+        [f"t={t:g}", f"{j1.rate_at(t):.2f}", f"{j2.rate_at(t):.2f}"] for t in probes
+    ]
+    table = render_table(
+        ["time", "job1 (TC1 min 80%)", "job2 (TC2 min 10%)"],
+        rows,
+        title="Fig. 14 (bottom) — fluid rates on a capacity-10 bottleneck",
+    )
+    report(table)
+    save_result("fig14_fluid", table)
+
+    assert j1.rate_at(2.0) == 10.0  # alone: everything
+    assert abs(j1.rate_at(6.0) - 8.0) < 1e-6  # 80%
+    assert abs(j2.rate_at(6.0) - 2.0) < 1e-6  # 10% + spare 10%
+    # after job1 finishes, job2 ramps to the full capacity
+    t_after = (j1.finished_at or 0) + 1.0
+    assert j2.rate_at(t_after) == 10.0
+
+
+def test_fig14_same_class_fair_share_fluid(benchmark, report):
+    def run_fluid():
+        bn = FluidBottleneck(10.0, [TrafficClass("tc1")])
+        j1 = bn.add_job(FluidJob(start_ns=0.0, nbytes=200.0, name="job1"))
+        j2 = bn.add_job(FluidJob(start_ns=5.0, nbytes=150.0, name="job2"))
+        bn.run()
+        return j1, j2
+
+    j1, j2 = run_once(benchmark, run_fluid)
+    table = render_table(
+        ["time", "job1", "job2"],
+        [
+            ["t=2", f"{j1.rate_at(2.0):.2f}", f"{j2.rate_at(2.0):.2f}"],
+            ["t=6", f"{j1.rate_at(6.0):.2f}", f"{j2.rate_at(6.0):.2f}"],
+        ],
+        title="Fig. 14 (top) — same traffic class: fair 50/50 share",
+    )
+    report(table)
+    save_result("fig14_same_class", table)
+    assert j1.rate_at(6.0) == j2.rate_at(6.0) == 5.0
+
+
+def test_fig14_packet_simulation_cross_check(benchmark, report):
+    """The packet fabric's DRR scheduler must honour the same 80/20 split
+    on a contended wire."""
+    _, malbec, _ = get_systems()
+    taper = LinkSpec(gbps(200) * 0.25, 300.0, 48 * KiB)
+    config = malbec(classes=CLASSES, global_link=taper)
+
+    def run_des():
+        fabric = config.build()
+        nodes1, nodes2 = split_nodes(list(range(32)), 16, "interleaved")
+        meters = {0: RateMeter(50 * US), 1: RateMeter(50 * US)}
+
+        def stream_job(world, tc, start_ns, n_msgs):
+            def main(rank):
+                yield start_ns
+                # saturate: cross-group streams from group 0/1 to group 2/3
+                dst = (rank.rank % world.size)
+                target = rank.world.nodes[dst] + 40  # nodes in far groups
+                for i in range(n_msgs):
+                    msg_done = rank.world.fabric.transfer(
+                        rank.node, target % 80, 64 * KiB, tc=tc
+                    )
+                    m = yield msg_done
+                    meters[tc].add(rank.sim.now, m.nbytes)
+
+            return main
+
+        w1 = MpiWorld(fabric, nodes1, tc=0)
+        w2 = MpiWorld(fabric, nodes2, tc=1)
+        w1.spawn(stream_job(w1, 0, 0.0, 150))
+        w2.spawn(stream_job(w2, 1, 0.3 * MS, 150))
+        fabric.sim.run(until=4 * MS)
+        return meters
+
+    meters = run_once(benchmark, run_des)
+    # Share while both classes are demanding (window 3-5 ms).
+    def rate_in(meter, lo, hi):
+        mids, rates = meter.series()
+        sel = (mids >= lo) & (mids <= hi)
+        return float(np.mean(rates[sel])) if sel.any() else 0.0
+
+    r1 = rate_in(meters[0], 0.6 * MS, 1.5 * MS)
+    r2 = rate_in(meters[1], 0.6 * MS, 1.5 * MS)
+    assert r1 > 0 and r2 > 0, "both jobs must be active in the window"
+    share2 = r2 / (r1 + r2)
+    table = render_table(
+        ["class", "rate (B/ns)", "share", "paper"],
+        [
+            ["TC1 (min 80%)", f"{r1:.2f}", f"{1 - share2:.0%}", "80%"],
+            ["TC2 (min 10%)", f"{r2:.2f}", f"{share2:.0%}", "20%"],
+        ],
+        title="Fig. 14 — packet-level share on the contended fabric",
+    )
+    report(table)
+    save_result("fig14_des", table)
+    # TC2 ends up close to its 10% + spare 10%, well below fair share.
+    assert 0.1 < share2 < 0.4
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pass

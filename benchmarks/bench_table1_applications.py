@@ -1,0 +1,82 @@
+"""Table I: the victim application suite.
+
+The table itself is descriptive; what a reproduction must establish is
+that each proxy (a) runs, (b) exhibits the claimed communication pattern
+(message mix), and (c) has a realistic communication fraction, because
+that fraction is what makes applications less congestion-sensitive than
+microbenchmarks in Figs. 9-11.
+"""
+
+from conftest import get_systems, run_once, save_result
+from repro.analysis import render_table
+from repro.network.units import MS
+from repro.workloads import (
+    TAILBENCH_APPS,
+    fft3d,
+    hpcg,
+    lammps,
+    milc,
+    resnet_proxy,
+    run_workload,
+    tailbench_client_server,
+)
+
+
+def test_table1_application_suite(benchmark, report):
+    _, malbec, _ = get_systems()
+    config = malbec()
+    nodes = list(range(16))
+
+    hpc_apps = {
+        "MILC": (milc, "4D halo + global reductions"),
+        "HPCG": (hpcg, "stencil halo + dot-product allreduces"),
+        "LAMMPS": (lammps, "6-way ghost exchange + reductions"),
+        "FFT": (fft3d, "alltoall pencil transposes"),
+        "resnet-proxy": (resnet_proxy, "overlapped gradient allreduces"),
+    }
+
+    def run_all():
+        out = {}
+        for name, (factory, _) in hpc_apps.items():
+            full = run_workload(config, nodes, factory(iterations=3), max_ns=200 * MS)
+            bare = run_workload(
+                config, nodes, factory(iterations=3, compute_ns=0.0), max_ns=200 * MS
+            )
+            out[name] = (full, bare)
+        for name, app in TAILBENCH_APPS.items():
+            res = run_workload(
+                config,
+                nodes[:2],
+                tailbench_client_server(app, n_requests=6),
+                max_ns=200 * MS,
+            )
+            out[name] = (res, None)
+        return out
+
+    results = run_once(benchmark, run_all)
+    rows = []
+    comm_fracs = {}
+    for name, (factory, pattern) in hpc_apps.items():
+        full, bare = results[name]
+        frac = bare.mean() / full.mean()
+        comm_fracs[name] = frac
+        rows.append(["HPC", name, pattern, f"{full.mean() / 1e3:.0f}us", f"{frac:.0%}"])
+    for name, app in TAILBENCH_APPS.items():
+        res, _ = results[name]
+        rows.append(
+            ["DC", name, "client/server RPC", f"{res.mean() / 1e3:.0f}us", "-"]
+        )
+    table = render_table(
+        ["type", "application", "communication pattern", "iter/req time", "comm frac"],
+        rows,
+        title="Table I — victim applications (16 ranks, isolated)",
+    )
+    report(table)
+    save_result("table1_applications", table)
+
+    for name, (full, _) in results.items():
+        assert full.completed, f"{name} did not finish"
+    # Compute must dominate enough that congestion is diluted, but
+    # communication must still matter (paper's premise).
+    for name, frac in comm_fracs.items():
+        assert 0.02 < frac < 0.9, f"{name} comm fraction {frac:.2f} unrealistic"

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Adaptive routing under the microscope (paper §II-C).
+
+Drives the same hot-spot traffic through three routing policies —
+minimal, Valiant (always misroute), and Slingshot's adaptive routing —
+and shows the latency/path-length trade-off: adaptive routes minimally
+when quiet, diverts only when the minimal path congests.
+
+Run:  python examples/adaptive_routing_demo.py
+"""
+
+from repro.analysis import render_table
+from repro.core.adaptive_routing import AdaptiveRouter, MinimalRouter, ValiantRouter
+from repro.network.units import KiB
+from repro.systems import shandy_mini
+
+
+def run_case(router_cls, hot: bool):
+    cfg = shandy_mini(router_factory=lambda topo, seed: router_cls(topo, seed))
+    fabric = cfg.build()
+    topo = fabric.topology
+    msgs = []
+    if hot:
+        # Hammer one switch pair: all nodes of switch 0 -> all of switch 1.
+        for _ in range(30):
+            for s in topo.nodes_on_switch(0):
+                for d in topo.nodes_on_switch(1):
+                    msgs.append(fabric.send(s, d, 16 * KiB))
+    else:
+        # One quiet cross-group message at a time.
+        for d in list(topo.nodes_in_group(3))[:8]:
+            msgs.append(fabric.send(0, d, 4 * KiB))
+    fabric.sim.run()
+    assert all(m.complete for m in msgs)
+    hops = sum(sw.pkts_forwarded for sw in fabric.switches) / fabric.packets_delivered()
+    finish = max(m.complete_time for m in msgs) / 1e3
+    return hops, finish
+
+
+def main() -> None:
+    rows = []
+    for name, cls in (
+        ("minimal", MinimalRouter),
+        ("valiant", ValiantRouter),
+        ("adaptive", AdaptiveRouter),
+    ):
+        quiet_hops, quiet_t = run_case(cls, hot=False)
+        hot_hops, hot_t = run_case(cls, hot=True)
+        rows.append(
+            [
+                name,
+                f"{quiet_hops:.2f}",
+                f"{quiet_t:.1f}us",
+                f"{hot_hops:.2f}",
+                f"{hot_t:.1f}us",
+            ]
+        )
+    print(
+        render_table(
+            ["router", "quiet hops/pkt", "quiet finish", "hot hops/pkt", "hot finish"],
+            rows,
+            title="Routing policy trade-off on shandy-mini",
+        )
+    )
+    print(
+        "\nMinimal is best when quiet but cannot avoid the hot link;\n"
+        "Valiant spreads load but pays double paths even when quiet;\n"
+        "adaptive routing (Slingshot) gets both: minimal hops when quiet,\n"
+        "divergence — and a faster finish — under the hot spot."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Congestion study: how much does a bully job hurt its neighbours?
+
+Reproduces the paper's core experiment (Figs. 8-10) in miniature: a
+victim job shares the machine with a GPCNet-style congestor, and we
+report the congestion impact C = Tc/Ti on Aries (no endpoint congestion
+control) versus Slingshot.
+
+Run:  python examples/congestion_study.py
+"""
+
+from repro.analysis import render_heatmap
+from repro.systems import crystal_mini, malbec_mini
+from repro.workloads import (
+    allreduce_bench,
+    alltoall_congestor,
+    congestion_impact,
+    incast_congestor,
+    split_nodes,
+)
+
+NODES = list(range(64))
+VICTIM = lambda: allreduce_bench(8, iterations=8)
+
+
+def study(system_name, config):
+    rows = []
+    for policy in ("linear", "interleaved", "random"):
+        row = []
+        for aggressor_name, aggressor in (
+            ("incast", incast_congestor()),
+            ("all-to-all", alltoall_congestor()),
+        ):
+            victim_nodes, aggressor_nodes = split_nodes(NODES, 32, policy, seed=1)
+            result = congestion_impact(
+                config,
+                victim_nodes,
+                VICTIM(),
+                aggressor_nodes,
+                aggressor,
+                max_ns=400e6,
+            )
+            row.append(result["impact"])
+        rows.append(row)
+    print()
+    print(
+        render_heatmap(
+            ["linear", "interleaved", "random"],
+            ["incast", "all-to-all"],
+            rows,
+            title=f"{system_name}: congestion impact on an 8B MPI_Allreduce "
+            f"(50/50 victim/aggressor split)",
+        )
+    )
+
+
+def main() -> None:
+    print(
+        "Victim: 8B allreduce on 32 nodes. Aggressor: 32 nodes running a\n"
+        "persistent congestor. C = Tc/Ti (1.0 = unaffected)."
+    )
+    study("Aries (crystal-mini)", crystal_mini())
+    study("Slingshot (malbec-mini)", malbec_mini())
+    print(
+        "\nTakeaways (matching the paper): incast wrecks Aries but not\n"
+        "Slingshot; all-to-all congestion is absorbed by adaptive routing\n"
+        "on both; spread-out allocations make interference worse."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""GPCNet-style network-noise report (paper §IV-B).
+
+GPCNet summarizes a machine's congestion behaviour with three noise
+ratios measured on a random-ring + allreduce victim.  The paper adopts
+GPCNet's metric but widens the victim set; this example runs the
+original GPCNet methodology on both simulated machines so the two
+papers' views can be compared directly.
+
+Run:  python examples/network_noise.py
+"""
+
+from repro.analysis import render_table
+from repro.systems import crystal_mini, malbec_mini
+from repro.workloads import gpcnet_report, split_nodes
+
+
+def main() -> None:
+    nodes = list(range(48))
+    victim, aggressor = split_nodes(nodes, 24, "random", seed=3)
+    rows = []
+    for name, config in (("Aries", crystal_mini()), ("Slingshot", malbec_mini())):
+        rep = gpcnet_report(config, victim, aggressor)
+        rows.append(
+            [
+                name,
+                f"{rep['latency_noise_p99']:.2f}x",
+                f"{rep['bandwidth_noise']:.2f}x",
+                f"{rep['allreduce_noise']:.2f}x",
+            ]
+        )
+    print(
+        render_table(
+            ["system", "latency noise (p99)", "bandwidth noise", "allreduce noise"],
+            rows,
+            title="GPCNet noise ratios under an incast congestor "
+            "(1.0 = congestion-free)",
+        )
+    )
+    print(
+        "\nGPCNet's two-victim view agrees with the paper's wider study:\n"
+        "Slingshot's congestion control keeps every ratio near 1, while\n"
+        "the network without endpoint congestion control degrades by\n"
+        "one to two orders of magnitude."
+    )
+
+
+if __name__ == "__main__":
+    main()

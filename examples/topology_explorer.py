@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Topology explorer: dragonfly design math from the paper's Fig. 3/6.
+
+Answers the questions a system architect asks: how big can a dragonfly
+get with 64-port switches, how many cables does a system need, and what
+are its theoretical bisection / all-to-all bandwidths?
+
+Run:  python examples/topology_explorer.py
+"""
+
+from repro.analysis import render_table
+from repro.network.dragonfly import DragonflyParams, DragonflyTopology, largest_system
+from repro.network.units import gbps
+from repro.systems import malbec_paper, shandy_paper
+
+
+def main() -> None:
+    # --- the largest system a Rosetta switch can build (Fig. 3) --------
+    ls = largest_system()
+    print("Largest 1-D dragonfly from 64-port Rosetta switches:")
+    print(f"  {ls.switches_per_group} switches/group, "
+          f"{ls.global_ports_per_switch} global ports/switch")
+    print(f"  {ls.n_groups} groups x {ls.nodes_per_group} nodes = "
+          f"{ls.n_endpoints:,} endpoints")
+    print(f"  addressing limit: {ls.addressing_group_limit} groups -> "
+          f"{ls.addressable_endpoints:,} usable endpoints")
+
+    # --- the paper's machines ------------------------------------------
+    rows = []
+    for cfg in (malbec_paper(), shandy_paper()):
+        topo = DragonflyTopology(cfg.params)
+        local = len(topo.all_local_links())
+        glob = len(topo.all_global_links())
+        try:
+            bisec = topo.bisection_bandwidth_bytes_ns(gbps(200)) / 1000
+            a2a = topo.alltoall_bandwidth_bytes_ns(gbps(200)) / 1000
+        except ValueError:
+            bisec = a2a = float("nan")
+        rows.append(
+            [
+                cfg.name,
+                cfg.params.n_nodes,
+                cfg.params.n_groups,
+                local,
+                glob,
+                f"{bisec:.1f} TB/s",
+                f"{a2a:.1f} TB/s",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["system", "nodes", "groups", "local links", "global links",
+             "bisection", "all-to-all"],
+            rows,
+            title="The paper's Slingshot systems (theoretical peaks, Fig. 6)",
+        )
+    )
+
+    # --- custom what-if -------------------------------------------------
+    print("\nWhat if we built a 16-group system with 8x32-port groups?")
+    params = DragonflyParams(8, 8, 16, links_per_pair=2)
+    topo = DragonflyTopology(params)
+    print(f"  nodes: {params.n_nodes}, max ports/switch: "
+          f"{params.max_ports_per_switch()}")
+    print(f"  gateways from group 0 to group 1: {topo.gateways(0, 1)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The offline environment has setuptools but no `wheel` package, so
+PEP 660 editable installs (`pip install -e .`) cannot build. This shim
+lets `python setup.py develop` provide the equivalent editable install;
+all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,228 @@
+"""Command-line interface: quick experiments without writing code.
+
+Usage::
+
+    python -m repro topology [--radix 64] [--hosts 16]
+    python -m repro latency [--system malbec] [--size 8] ...
+    python -m repro congestion [--victim allreduce8] [--aggressor incast] ...
+    python -m repro qos
+    python -m repro report [--system shandy]
+
+Each subcommand prints a paper-style table.  This is a convenience layer
+over the same public APIs the examples use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import format_time_ns, render_table
+from .analysis.portstats import fabric_report
+from .network.units import KiB, MS
+
+_SYSTEMS = ("malbec", "shandy", "crystal")
+
+
+def _get_system(name: str):
+    from . import systems
+
+    try:
+        return getattr(systems, f"{name}_mini")
+    except AttributeError:
+        raise SystemExit(f"unknown system {name!r}; choose from {_SYSTEMS}")
+
+
+def cmd_topology(args) -> int:
+    from .network.dragonfly import largest_system
+
+    if args.radix == 64 and args.hosts == 16:
+        a = 32  # the paper's construction
+    else:
+        # balanced split of the fabric ports: a-1 local, h global
+        a = max(1, (args.radix - args.hosts + 2) // 2)
+    ls = largest_system(
+        radix=args.radix, hosts_per_switch=args.hosts, switches_per_group=a
+    )
+    rows = [
+        ["switches/group", ls.switches_per_group],
+        ["global ports/switch", ls.global_ports_per_switch],
+        ["groups", ls.n_groups],
+        ["endpoints", f"{ls.n_endpoints:,}"],
+        ["addressable endpoints", f"{ls.addressable_endpoints:,}"],
+    ]
+    print(render_table(["quantity", "value"], rows,
+                       title=f"Largest dragonfly from {args.radix}-port switches"))
+    return 0
+
+
+def cmd_latency(args) -> int:
+    from .mpi import MpiWorld
+
+    config = _get_system(args.system)()
+    fabric = config.build()
+    world = MpiWorld(fabric, nodes=list(range(args.ranks)))
+    times = {}
+
+    def job(rank):
+        for _ in range(3):  # warm the windows
+            yield from rank.allreduce(args.size)
+        t0 = rank.sim.now
+        for _ in range(args.iterations):
+            yield from rank.allreduce(args.size)
+        if rank.rank == 0:
+            times["allreduce"] = (rank.sim.now - t0) / args.iterations
+
+    world.spawn(job)
+    fabric.sim.run()
+    print(
+        render_table(
+            ["operation", "ranks", "size", "latency"],
+            [[
+                "MPI_Allreduce",
+                args.ranks,
+                f"{args.size}B",
+                format_time_ns(times["allreduce"]),
+            ]],
+            title=f"Quiet-system latency on {config.name}",
+        )
+    )
+    return 0
+
+
+def cmd_congestion(args) -> int:
+    from .workloads import (
+        allreduce_bench,
+        alltoall_congestor,
+        congestion_impact,
+        incast_congestor,
+        split_nodes,
+    )
+
+    config = _get_system(args.system)()
+    n = config.params.n_nodes
+    nodes = list(range(min(n, args.nodes)))
+    victim_nodes, aggressor_nodes = split_nodes(
+        nodes, max(2, round(len(nodes) * args.victim_fraction)), args.allocation
+    )
+    congestor = {
+        "incast": incast_congestor,
+        "alltoall": alltoall_congestor,
+    }[args.aggressor]()
+    result = congestion_impact(
+        config,
+        victim_nodes,
+        allreduce_bench(args.size, iterations=args.iterations),
+        aggressor_nodes,
+        congestor,
+        max_ns=args.budget_ms * MS,
+    )
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["system", config.name],
+                ["victim", f"allreduce {args.size}B on {len(victim_nodes)} nodes"],
+                ["aggressor", f"{args.aggressor} on {len(aggressor_nodes)} nodes"],
+                ["allocation", args.allocation],
+                ["isolated time", format_time_ns(result["ti"])],
+                ["congested time", format_time_ns(result["tc"])],
+                ["congestion impact C", f"{result['impact']:.2f}x"],
+            ],
+            title="Congestion impact (paper Eq. 1)",
+        )
+    )
+    return 0
+
+
+def cmd_qos(args) -> int:
+    from .core.traffic_classes import TrafficClass
+    from .flowsim import FluidBottleneck, FluidJob
+
+    classes = [
+        TrafficClass("tc1", min_share=args.min1),
+        TrafficClass("tc2", min_share=args.min2),
+    ]
+    bn = FluidBottleneck(100.0, classes)
+    j1 = bn.add_job(FluidJob(start_ns=0.0, nbytes=2000.0, tc=0, name="job1"))
+    j2 = bn.add_job(FluidJob(start_ns=5.0, nbytes=1000.0, tc=1, name="job2"))
+    bn.run()
+    rows = [
+        [f"t={t:g}", f"{j1.rate_at(t):.1f}", f"{j2.rate_at(t):.1f}"]
+        for t in (2.0, 6.0, 25.0)
+    ]
+    print(
+        render_table(
+            ["time", "job1 rate", "job2 rate"],
+            rows,
+            title=f"Fluid QoS timeline (guarantees {args.min1:.0%}/{args.min2:.0%}, capacity 100)",
+        )
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    import random
+
+    config = _get_system(args.system)()
+    fabric = config.build()
+    rng = random.Random(args.seed)
+    n = fabric.topology.n_nodes
+    for _ in range(args.messages):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            fabric.send(a, b, rng.choice([8, 4 * KiB, 64 * KiB]))
+    fabric.sim.run()
+    print(fabric_report(fabric).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Slingshot-interconnect reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("topology", help="dragonfly design math (Fig. 3)")
+    p.add_argument("--radix", type=int, default=64)
+    p.add_argument("--hosts", type=int, default=16)
+    p.set_defaults(fn=cmd_topology)
+
+    p = sub.add_parser("latency", help="quiet-system collective latency")
+    p.add_argument("--system", choices=_SYSTEMS, default="malbec")
+    p.add_argument("--ranks", type=int, default=16)
+    p.add_argument("--size", type=int, default=8)
+    p.add_argument("--iterations", type=int, default=10)
+    p.set_defaults(fn=cmd_latency)
+
+    p = sub.add_parser("congestion", help="victim vs aggressor impact (Fig. 9)")
+    p.add_argument("--system", choices=_SYSTEMS, default="crystal")
+    p.add_argument("--aggressor", choices=("incast", "alltoall"), default="incast")
+    p.add_argument("--allocation", choices=("linear", "interleaved", "random"), default="random")
+    p.add_argument("--victim-fraction", type=float, default=0.5)
+    p.add_argument("--nodes", type=int, default=64)
+    p.add_argument("--size", type=int, default=8)
+    p.add_argument("--iterations", type=int, default=8)
+    p.add_argument("--budget-ms", type=float, default=400.0)
+    p.set_defaults(fn=cmd_congestion)
+
+    p = sub.add_parser("qos", help="traffic-class bandwidth timeline (Fig. 14)")
+    p.add_argument("--min1", type=float, default=0.8)
+    p.add_argument("--min2", type=float, default=0.1)
+    p.set_defaults(fn=cmd_qos)
+
+    p = sub.add_parser("report", help="fabric utilization diagnostics")
+    p.add_argument("--system", choices=_SYSTEMS, default="shandy")
+    p.add_argument("--messages", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Adaptive routing (paper §II-C).
+
+Slingshot's routing, as the paper describes it: before sending a packet,
+the source switch estimates the load of up to four minimal and
+non-minimal paths and picks the best, weighing both congestion and path
+length, with a bias towards minimal paths.  Congestion estimates come
+from output-queue depth plus *credit occupancy* — bytes sitting in the
+next switch's input buffer — which is the request-queue-credit signal
+§II-A describes.
+
+Model choices:
+
+* Adaptivity (the minimal/Valiant decision) happens at the injection
+  switch, UGAL-style; after that the packet follows minimal routes with
+  per-hop choice among equivalent gateways/parallel links.  This matches
+  dragonfly practice and bounds paths at one global misroute.
+* A Valiant-misrouted packet carries its intermediate group; on entering
+  that group it reverts to minimal routing towards the destination.
+* Non-minimal candidates pay a multiplicative length penalty plus an
+  additive bias, so a quiet network always routes minimally ("biases
+  packets to take minimal paths more frequently").
+
+Three policies are provided: :class:`AdaptiveRouter` (Slingshot and, with
+different parameters, Aries), :class:`MinimalRouter` and
+:class:`ValiantRouter` (ablation baselines).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..sim.rng import stable_hash
+
+__all__ = ["AdaptiveRouter", "MinimalRouter", "ValiantRouter"]
+
+
+class AdaptiveRouter:
+    """UGAL-flavoured adaptive routing over a dragonfly fabric.
+
+    One router instance serves the whole fabric (it is stateless apart
+    from its RNG; all congestion state is read from the ports).
+    """
+
+    #: multiplicative penalty on non-minimal candidates (2 ≈ double length)
+    DEFAULT_NONMIN_PENALTY = 2.0
+    #: additive bytes a non-minimal path must beat (minimal bias)
+    DEFAULT_MIN_BIAS_BYTES = 12_000.0
+
+    def __init__(
+        self,
+        topology,
+        seed: int = 0,
+        nonmin_penalty: float = DEFAULT_NONMIN_PENALTY,
+        min_bias_bytes: float = DEFAULT_MIN_BIAS_BYTES,
+        n_candidates: int = 2,
+        allow_nonminimal: bool = True,
+        tc_routing_bias=None,
+    ):
+        self.topo = topology
+        self.nonmin_penalty = nonmin_penalty
+        self.min_bias_bytes = min_bias_bytes
+        self.n_candidates = n_candidates
+        self.allow_nonminimal = allow_nonminimal
+        # per-TC multiplier on the non-minimal penalty (QoS routing bias)
+        self.tc_routing_bias = tc_routing_bias or (lambda tc: 1.0)
+        self._rng = random.Random(stable_hash("router", seed))
+
+    # -- helpers -------------------------------------------------------------
+
+    def _sample(self, seq: List, k: int) -> List:
+        if len(seq) <= k:
+            return list(seq)
+        return self._rng.sample(seq, k)
+
+    @staticmethod
+    def _least_loaded(ports: List) -> "object":
+        best = ports[0]
+        best_score = best.congestion_score()
+        for p in ports[1:]:
+            s = p.congestion_score()
+            if s < best_score:
+                best, best_score = p, s
+        return best
+
+    def _port_towards_group(self, sw, group: int):
+        """Best port from *sw* towards *group*: direct global link if any,
+        else a local hop to a gateway switch."""
+        direct = sw.ports_to_group.get(group)
+        if direct:
+            return self._least_loaded(direct)
+        gws = self.topo.gateways(sw.group, group)
+        choices = self._sample(gws, self.n_candidates)
+        return self._least_loaded([sw.port_to_switch[g] for g in choices])
+
+    # -- main entry ------------------------------------------------------------
+
+    def route(self, sw, pkt):
+        dst_sw = self.topo.node_switch(pkt.dst)
+        if dst_sw == sw.id:
+            return sw.port_to_node[pkt.dst]
+
+        # Entering the Valiant intermediate group completes the misroute.
+        if pkt.intermediate_group is not None and sw.group == pkt.intermediate_group:
+            pkt.intermediate_group = None
+
+        dst_g = self.topo.switch_group(dst_sw)
+        target_g = pkt.intermediate_group if pkt.intermediate_group is not None else dst_g
+        at_injection = pkt.hops == 1
+        candidates: List[Tuple[object, bool, Optional[int]]] = []
+        # each entry: (port, is_nonminimal, intermediate_group_to_set)
+
+        if target_g == sw.group:
+            # Local leg: minimal is the direct link to the destination switch.
+            candidates.append((sw.port_to_switch[dst_sw], False, None))
+            if self.allow_nonminimal and at_injection and dst_g == sw.group:
+                others = [s for s in self.topo.local_neighbors(sw.id) if s != dst_sw]
+                for m in self._sample(others, self.n_candidates):
+                    candidates.append((sw.port_to_switch[m], True, None))
+        else:
+            direct = sw.ports_to_group.get(target_g)
+            if direct:
+                for port in self._sample(direct, self.n_candidates):
+                    candidates.append((port, False, None))
+            else:
+                gws = self.topo.gateways(sw.group, target_g)
+                for g in self._sample(gws, self.n_candidates):
+                    candidates.append((sw.port_to_switch[g], False, None))
+            if (
+                self.allow_nonminimal
+                and at_injection
+                and pkt.intermediate_group is None
+                and self.topo.params.n_groups > 2
+            ):
+                pool = [
+                    g
+                    for g in range(self.topo.params.n_groups)
+                    if g != sw.group and g != dst_g
+                ]
+                for k in self._sample(pool, self.n_candidates):
+                    candidates.append((self._port_towards_group(sw, k), True, k))
+
+        if len(candidates) == 1:
+            port, _, inter = candidates[0]
+            if inter is not None:
+                pkt.intermediate_group = inter
+            return port
+
+        bias_mult = self.tc_routing_bias(pkt.tc)
+        best = None
+        best_score = None
+        for i, (port, nonmin, inter) in enumerate(candidates):
+            score = port.congestion_score()
+            if nonmin:
+                score = (
+                    score * self.nonmin_penalty * bias_mult
+                    + self.min_bias_bytes * bias_mult
+                )
+            key = (score, nonmin, i)
+            if best_score is None or key < best_score:
+                best_score = key
+                best = (port, inter)
+        port, inter = best
+        if inter is not None:
+            pkt.intermediate_group = inter
+        return port
+
+
+class MinimalRouter(AdaptiveRouter):
+    """Minimal-only routing (still picks the least-loaded parallel link)."""
+
+    def __init__(self, topology, seed: int = 0, **kwargs):
+        kwargs["allow_nonminimal"] = False
+        super().__init__(topology, seed, **kwargs)
+
+
+class ValiantRouter(AdaptiveRouter):
+    """Always misroute through a random intermediate group/switch.
+
+    The classic congestion-oblivious baseline: balances any traffic
+    pattern at the cost of doubled path length.
+    """
+
+    def route(self, sw, pkt):
+        dst_sw = self.topo.node_switch(pkt.dst)
+        if dst_sw == sw.id:
+            return sw.port_to_node[pkt.dst]
+        if pkt.intermediate_group is not None and sw.group == pkt.intermediate_group:
+            pkt.intermediate_group = None
+        dst_g = self.topo.switch_group(dst_sw)
+        if pkt.hops == 1 and pkt.intermediate_group is None:
+            if dst_g != sw.group and self.topo.params.n_groups > 2:
+                pool = [
+                    g
+                    for g in range(self.topo.params.n_groups)
+                    if g != sw.group and g != dst_g
+                ]
+                pkt.intermediate_group = self._rng.choice(pool)
+            elif dst_g == sw.group:
+                others = [s for s in self.topo.local_neighbors(sw.id) if s != dst_sw]
+                if others:
+                    return sw.port_to_switch[self._rng.choice(others)]
+        target_g = pkt.intermediate_group if pkt.intermediate_group is not None else dst_g
+        if target_g == sw.group:
+            return sw.port_to_switch[dst_sw]
+        return self._port_towards_group(sw, target_g)

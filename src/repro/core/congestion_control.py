@@ -1,0 +1,197 @@
+"""Endpoint congestion control (paper §II-D).
+
+Slingshot's hardware congestion control "tracks every in-flight packet
+between every pair of network endpoints" and applies "stiff and fast
+back-pressure to the sources that are contributing to congestion",
+leaving victim streams untouched.  We model this at the NIC as a
+per-(source, destination) window of outstanding packets:
+
+* every packet is acknowledged end-to-end;
+* the last-hop (host-facing) egress port marks packets it dequeues from
+  a deep queue — deep queues at the last hop *are* endpoint congestion;
+* on a marked ack, :class:`SlingshotCC` cuts the window for that single
+  destination multiplicatively (stiff) and immediately (fast: the loop
+  is one ack, not a software RTT estimator);
+* clean acks grow the window additively back toward the maximum.
+
+Because the state is per destination pair, an incast only throttles the
+senders whose packets return marked — other destinations of the same
+NIC, and other jobs, keep their full windows.  This is the paper's whole
+argument for Figures 8-12.
+
+Baselines:
+
+* :class:`NoCC` — unlimited windows; endpoint congestion backs packets
+  into the fabric until link-level credits stall upstream ports (tree
+  saturation).  This is how we configure the Aries system, whose
+  production deployments ran without endpoint congestion control.
+* :class:`EcnCC` — an ECN/DCQCN-flavoured control with a *slow* control
+  loop: marks are accumulated and the rate is only adjusted every
+  ``update_period_ns``.  Used by the ablation benches to reproduce the
+  paper's claim that slow loops are fragile for bursty HPC traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+__all__ = ["PairState", "CongestionControl", "SlingshotCC", "NoCC", "EcnCC"]
+
+
+@dataclass
+class PairState:
+    """Per-(src, dst) tracking state kept by the sending NIC.
+
+    Windows below 1.0 mean *pacing*: at most one packet in flight, plus
+    an enforced idle gap after each send so the average rate matches the
+    fractional window (this is what lets stiff back-pressure cut an
+    incast source far below one outstanding packet per RTT).
+    """
+
+    window: float
+    in_flight: int = 0
+    pending: Deque = field(default_factory=deque)
+    next_send_ns: float = 0.0  # pacing gate (used when window < 1)
+    pace_armed: bool = False  # a pacing-timer wakeup is scheduled
+    last_activity_ns: float = 0.0  # last send/ack (for idle state aging)
+    # EcnCC bookkeeping
+    acks_since_update: int = 0
+    marks_since_update: int = 0
+    last_update_ns: float = 0.0
+
+    @property
+    def can_send(self) -> bool:
+        return self.in_flight < max(self.window, 1.0)
+
+
+class CongestionControl:
+    """Strategy interface: owns window sizing for every destination pair."""
+
+    #: human-readable name used in reports
+    name = "abstract"
+
+    def initial_window(self) -> float:
+        raise NotImplementedError
+
+    def on_ack(self, state: PairState, marked: bool, now: float) -> None:
+        """Update *state.window* given one returned ack."""
+        raise NotImplementedError
+
+
+class SlingshotCC(CongestionControl):
+    """Per-pair AIMD with a one-ack control loop (fast and stiff).
+
+    Defaults: start at 16 outstanding packets per destination, halve on
+    every marked ack (down to 1), recover by one packet per clean
+    window's worth of acks, cap at ``max_window``.
+    """
+
+    name = "slingshot"
+
+    def __init__(
+        self,
+        initial: float = 16.0,
+        max_window: float = 64.0,
+        min_window: float = 1.0 / 16.0,
+        decrease_factor: float = 0.5,
+        increase_per_window: float = 1.0,
+    ):
+        if not (0.0 < decrease_factor < 1.0):
+            raise ValueError("decrease_factor must be in (0, 1)")
+        if min_window <= 0.0:
+            raise ValueError("min_window must be positive")
+        self.initial = initial
+        self.max_window = max_window
+        self.min_window = min_window
+        self.decrease_factor = decrease_factor
+        self.increase_per_window = increase_per_window
+
+    def initial_window(self) -> float:
+        return self.initial
+
+    def on_ack(self, state: PairState, marked: bool, now: float) -> None:
+        if marked:
+            state.window = max(self.min_window, state.window * self.decrease_factor)
+        elif state.window < 1.0:
+            # Gentle multiplicative probe back towards one outstanding
+            # packet once the marks stop.
+            state.window = min(self.max_window, state.window * 1.25)
+        else:
+            state.window = min(
+                self.max_window,
+                state.window + self.increase_per_window / state.window,
+            )
+
+
+class NoCC(CongestionControl):
+    """No endpoint congestion control (Aries configuration)."""
+
+    name = "none"
+
+    def __init__(self, window: float = float("inf")):
+        self.window = window
+
+    def initial_window(self) -> float:
+        return self.window
+
+    def on_ack(self, state: PairState, marked: bool, now: float) -> None:
+        pass  # nothing reacts; the fabric's credits are the only brake
+
+
+class EcnCC(CongestionControl):
+    """ECN-flavoured control with a deliberately slow loop (ablation).
+
+    Marks are only acted upon every ``update_period_ns``; the window is
+    cut in proportion to the marked fraction of the elapsed period and
+    recovers by a fixed step per period.  Between updates a burst can do
+    unthrottled damage — which is the paper's criticism of ECN/QCN for
+    HPC workloads.
+    """
+
+    name = "ecn"
+
+    def __init__(
+        self,
+        initial: float = 64.0,
+        max_window: float = 64.0,
+        min_window: float = 1.0,
+        update_period_ns: float = 50_000.0,
+        recovery_step: float = 2.0,
+    ):
+        self.initial = initial
+        self.max_window = max_window
+        self.min_window = min_window
+        self.update_period_ns = update_period_ns
+        self.recovery_step = recovery_step
+
+    def initial_window(self) -> float:
+        return self.initial
+
+    def on_ack(self, state: PairState, marked: bool, now: float) -> None:
+        state.acks_since_update += 1
+        if marked:
+            state.marks_since_update += 1
+        if now - state.last_update_ns < self.update_period_ns:
+            return
+        state.last_update_ns = now
+        if state.acks_since_update:
+            frac = state.marks_since_update / state.acks_since_update
+            if frac > 0.0:
+                state.window = max(
+                    self.min_window, state.window * (1.0 - 0.5 * frac)
+                )
+            else:
+                state.window = min(self.max_window, state.window + self.recovery_step)
+        state.acks_since_update = 0
+        state.marks_since_update = 0
+
+
+def make_cc(name: str, **kwargs) -> CongestionControl:
+    """Factory used by system configs ('slingshot' | 'none' | 'ecn')."""
+    table = {"slingshot": SlingshotCC, "none": NoCC, "ecn": EcnCC}
+    try:
+        return table[name](**kwargs)
+    except KeyError:
+        raise ValueError(f"unknown congestion control {name!r}") from None

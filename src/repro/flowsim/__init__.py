@@ -1,0 +1,14 @@
+"""Flow-level (fluid) models: max-min fairness, TC allocation, rate-vs-time."""
+
+from .fluid import FluidBottleneck, FluidJob
+from .maxmin import Flow, MaxMinNetwork
+from .tc_alloc import allocate_classes, split_within_class
+
+__all__ = [
+    "Flow",
+    "MaxMinNetwork",
+    "allocate_classes",
+    "split_within_class",
+    "FluidJob",
+    "FluidBottleneck",
+]

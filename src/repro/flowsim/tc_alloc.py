@@ -1,0 +1,125 @@
+"""Traffic-class bandwidth allocation, fluid version (paper §II-E, Fig. 14).
+
+Given a shared capacity and the set of traffic classes with active
+demand, compute each class's bandwidth:
+
+1. strict priority levels are served top-down;
+2. within a level, every active class first receives its guaranteed
+   ``min_share`` (scaled down proportionally if the level's capacity
+   cannot cover the guarantees, which the administrator is supposed to
+   prevent);
+3. spare capacity — unreserved, or reserved by idle classes — is
+   repeatedly granted to the active class with the lowest current
+   bandwidth share, respecting ``max_share`` caps, until nothing is
+   left or everyone is capped/satisfied.
+
+This is the closed-form twin of the packet scheduler in
+:mod:`repro.core.traffic_classes`; the two are cross-validated in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.traffic_classes import TrafficClass
+
+__all__ = ["allocate_classes", "split_within_class"]
+
+_EPS = 1e-12
+
+
+def allocate_classes(
+    capacity: float,
+    classes: Sequence[TrafficClass],
+    demands: Sequence[float],
+) -> List[float]:
+    """Bandwidth per class.  ``demands[i]`` is class *i*'s offered load
+    (0 = idle, ``float('inf')`` = always backlogged)."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    if len(demands) != len(classes):
+        raise ValueError("one demand per class required")
+    n = len(classes)
+    alloc = [0.0] * n
+    remaining = capacity
+
+    by_level: Dict[int, List[int]] = {}
+    for i, tc in enumerate(classes):
+        if demands[i] > 0:
+            by_level.setdefault(tc.priority, []).append(i)
+
+    for priority in sorted(by_level, reverse=True):
+        if remaining <= _EPS:
+            break
+        level = by_level[priority]
+        # Stage 1: guarantees (scaled if oversubscribed at this level).
+        want = [
+            min(classes[i].min_share * capacity, demands[i], classes[i].max_share * capacity)
+            for i in level
+        ]
+        total_want = sum(want)
+        scale = min(1.0, remaining / total_want) if total_want > 0 else 1.0
+        for k, i in enumerate(level):
+            alloc[i] = want[k] * scale
+        remaining -= sum(want) * scale
+
+        # Stage 2: spare to the lowest-share active class, iteratively.
+        # Each grant raises the lowest class to the next-lowest share (or
+        # to its cap/demand), matching the behaviour seen in Fig. 14.
+        def headroom(i: int) -> float:
+            return min(classes[i].max_share * capacity, demands[i]) - alloc[i]
+
+        for _ in range(10 * n + 10):
+            if remaining <= _EPS:
+                break
+            open_classes = [i for i in level if headroom(i) > _EPS]
+            if not open_classes:
+                break
+            open_classes.sort(key=lambda i: (alloc[i], i))
+            lowest = open_classes[0]
+            tied = [i for i in open_classes if alloc[i] <= alloc[lowest] + _EPS]
+            if len(tied) == len(open_classes):
+                # Everyone level: split the rest evenly (bounded by headroom).
+                per = min(remaining / len(tied), min(headroom(i) for i in tied))
+                per = max(per, _EPS)
+                for i in tied:
+                    alloc[i] += per
+                remaining -= per * len(tied)
+                continue
+            # Raise the lagging group up to the next-lowest share.
+            next_share = min(alloc[i] for i in open_classes if i not in tied)
+            per = min(
+                (next_share - alloc[lowest]),
+                remaining / len(tied),
+                min(headroom(i) for i in tied),
+            )
+            per = max(per, _EPS)
+            for i in tied:
+                alloc[i] += per
+            remaining -= per * len(tied)
+    return alloc
+
+
+def split_within_class(class_rate: float, job_demands: Sequence[float]) -> List[float]:
+    """Max-min split of one class's bandwidth among its jobs."""
+    n = len(job_demands)
+    if n == 0:
+        return []
+    rates = [0.0] * n
+    active = [i for i in range(n) if job_demands[i] > 0]
+    remaining = class_rate
+    while active and remaining > _EPS:
+        share = remaining / len(active)
+        done = [i for i in active if job_demands[i] - rates[i] <= share + _EPS]
+        if not done:
+            for i in active:
+                rates[i] += share
+            remaining = 0.0
+            break
+        for i in done:
+            grant = job_demands[i] - rates[i]
+            rates[i] += grant
+            remaining -= grant
+            active.remove(i)
+    return rates

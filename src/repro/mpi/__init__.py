@@ -1,0 +1,39 @@
+"""Communication-library substrate: ranks, matching, collectives, stack model."""
+
+from .collectives import (
+    BRUCK_THRESHOLD,
+    RABENSEIFNER_THRESHOLD,
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    reduce_scatter,
+    ring_allreduce,
+    scatter,
+)
+from .comm import MpiWorld, Rank
+from .software_stack import LAYERS, StackLayer, half_rtt, layer
+
+__all__ = [
+    "MpiWorld",
+    "Rank",
+    "barrier",
+    "allreduce",
+    "alltoall",
+    "bcast",
+    "allgather",
+    "reduce",
+    "scatter",
+    "gather",
+    "reduce_scatter",
+    "ring_allreduce",
+    "BRUCK_THRESHOLD",
+    "RABENSEIFNER_THRESHOLD",
+    "StackLayer",
+    "LAYERS",
+    "half_rtt",
+    "layer",
+]

@@ -1,0 +1,316 @@
+"""MPI collective algorithms (generators composed over point-to-point).
+
+These follow the classic MPICH algorithm choices the paper refers to
+(§II-G cites Thakur/Rabenseifner/Gropp [35]):
+
+* **barrier** — dissemination.
+* **allreduce** — recursive doubling, with Rabenseifner's
+  reduce-scatter + allgather above ``RABENSEIFNER_THRESHOLD``; non-power
+  -of-two rank counts fold the excess ranks first (which is why the
+  paper picks its 256/460/53-node victim splits — the algorithm really
+  does change with the node count).
+* **alltoall** — Bruck for messages at or below ``BRUCK_THRESHOLD``
+  (256 B), pairwise exchange above.  The switch is what causes the
+  throughput dip at 256 B in the paper's Fig. 6.
+* **bcast** — binomial tree.
+* **allgather** — ring.
+* **reduce** — binomial tree (reverse of bcast).
+
+Every collective is a generator meant for ``yield from`` inside a rank
+process; all ranks of a world must call the same collectives in the same
+order (SPMD), which is what makes the per-rank sequence numbers agree.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "barrier",
+    "allreduce",
+    "alltoall",
+    "bcast",
+    "allgather",
+    "reduce",
+    "scatter",
+    "gather",
+    "reduce_scatter",
+    "ring_allreduce",
+    "BRUCK_THRESHOLD",
+    "RABENSEIFNER_THRESHOLD",
+]
+
+#: MPI_Alltoall switches from Bruck to pairwise above this size (paper
+#: Fig. 6: "the MPI implementation switches to a different algorithm for
+#: messages larger than 256 bytes").
+BRUCK_THRESHOLD = 256
+#: MPI_Allreduce switches from recursive doubling to Rabenseifner here.
+RABENSEIFNER_THRESHOLD = 16 * 1024
+
+
+def barrier(rank):
+    """Dissemination barrier: ceil(log2 n) rounds of 0-byte messages."""
+    n, r = rank.size, rank.rank
+    if n == 1:
+        return
+    seq = rank._next_seq()
+    k = 0
+    step = 1
+    while step < n:
+        dst = (r + step) % n
+        src = (r - step) % n
+        send_ev = rank.isend(dst, 0, tag=("bar", seq, k))
+        yield rank.recv(src, tag=("bar", seq, k))
+        yield send_ev
+        step <<= 1
+        k += 1
+
+
+def _recursive_doubling(rank, nbytes, seq, group_size):
+    """Allreduce core among ranks [0, group_size); callers guarantee the
+    calling rank is inside the group and group_size is a power of two."""
+    r = rank.rank
+    mask, k = 1, 0
+    while mask < group_size:
+        partner = r ^ mask
+        send_ev = rank.isend(partner, nbytes, tag=("ar", seq, k))
+        yield rank.recv(partner, tag=("ar", seq, k))
+        yield send_ev
+        mask <<= 1
+        k += 1
+
+
+def _rabenseifner(rank, nbytes, seq, group_size):
+    """Reduce-scatter (recursive halving) + allgather (recursive doubling)."""
+    r = rank.rank
+    piece = nbytes
+    mask, k = 1, 0
+    while mask < group_size:
+        partner = r ^ mask
+        piece = max(1, piece // 2)
+        send_ev = rank.isend(partner, piece, tag=("rs", seq, k))
+        yield rank.recv(partner, tag=("rs", seq, k))
+        yield send_ev
+        mask <<= 1
+        k += 1
+    mask >>= 1
+    while mask > 0:
+        partner = r ^ mask
+        send_ev = rank.isend(partner, piece, tag=("ag", seq, k))
+        yield rank.recv(partner, tag=("ag", seq, k))
+        yield send_ev
+        piece = min(nbytes, piece * 2)
+        mask >>= 1
+        k += 1
+
+
+def allreduce(rank, nbytes):
+    """MPI_Allreduce: recursive doubling (or Rabenseifner above the
+    threshold), with non-power-of-two ranks folded onto the pow2 core."""
+    n, r = rank.size, rank.rank
+    if n == 1:
+        return
+    seq = rank._next_seq()
+    m = 1 << (n.bit_length() - 1)  # largest power of two <= n
+    rem = n - m
+    # Fold the excess ranks onto the power-of-two core.
+    if r >= m:
+        yield rank.isend(r - m, nbytes, tag=("ar", seq, "fold"))
+    elif r < rem:
+        yield rank.recv(r + m, tag=("ar", seq, "fold"))
+    if r < m:
+        if nbytes > RABENSEIFNER_THRESHOLD:
+            yield from _rabenseifner(rank, nbytes, seq, m)
+        else:
+            yield from _recursive_doubling(rank, nbytes, seq, m)
+    # Unfold: return the result to the excess ranks.
+    if r < rem:
+        yield rank.isend(r + m, nbytes, tag=("ar", seq, "unfold"))
+    elif r >= m:
+        yield rank.recv(r - m, tag=("ar", seq, "unfold"))
+
+
+def alltoall(rank, nbytes_per_rank):
+    """MPI_Alltoall: Bruck aggregation for small messages, pairwise
+    exchange above BRUCK_THRESHOLD (the paper's Fig. 6 dip)."""
+    n, r = rank.size, rank.rank
+    if n == 1:
+        return
+    seq = rank._next_seq()
+    if nbytes_per_rank <= BRUCK_THRESHOLD:
+        # Bruck: log rounds, each moving ~half the aggregated buffer.
+        chunk = nbytes_per_rank * ((n + 1) // 2)
+        step, k = 1, 0
+        while step < n:
+            dst = (r + step) % n
+            src = (r - step) % n
+            send_ev = rank.isend(dst, chunk, tag=("a2a", seq, k))
+            yield rank.recv(src, tag=("a2a", seq, k))
+            yield send_ev
+            step <<= 1
+            k += 1
+    else:
+        # Pairwise exchange: n-1 rounds of sendrecv with rotating partners.
+        for i in range(1, n):
+            dst = (r + i) % n
+            src = (r - i) % n
+            send_ev = rank.isend(dst, nbytes_per_rank, tag=("a2a", seq, i))
+            yield rank.recv(src, tag=("a2a", seq, i))
+            yield send_ev
+
+
+def bcast(rank, nbytes, root=0):
+    """MPI_Bcast: binomial tree rooted at *root*."""
+    n, r = rank.size, rank.rank
+    if n == 1:
+        return
+    seq = rank._next_seq()
+    relative = (r - root) % n
+    mask = 1
+    while mask < n:
+        if relative & mask:
+            src = (r - mask) % n
+            yield rank.recv(src, tag=("bc", seq))
+            break
+        mask <<= 1
+    mask >>= 1
+    pending = []
+    while mask > 0:
+        if relative + mask < n:
+            dst = (r + mask) % n
+            pending.append(rank.isend(dst, nbytes, tag=("bc", seq)))
+        mask >>= 1
+    for ev in pending:
+        yield ev
+
+
+def allgather(rank, nbytes):
+    """Ring allgather: n-1 rounds, each forwarding one contribution."""
+    n, r = rank.size, rank.rank
+    if n == 1:
+        return
+    seq = rank._next_seq()
+    right = (r + 1) % n
+    left = (r - 1) % n
+    for i in range(n - 1):
+        send_ev = rank.isend(right, nbytes, tag=("gat", seq, i))
+        yield rank.recv(left, tag=("gat", seq, i))
+        yield send_ev
+
+
+def reduce(rank, nbytes, root=0):
+    """Binomial-tree reduce (children push up towards the root)."""
+    n, r = rank.size, rank.rank
+    if n == 1:
+        return
+    seq = rank._next_seq()
+    relative = (r - root) % n
+    mask = 1
+    while mask < n:
+        if relative & mask == 0:
+            source_rel = relative + mask
+            if source_rel < n:
+                yield rank.recv((source_rel + root) % n, tag=("red", seq, mask))
+        else:
+            parent = ((relative & ~mask) + root) % n
+            yield rank.isend(parent, nbytes, tag=("red", seq, mask))
+            break
+        mask <<= 1
+
+
+def scatter(rank, nbytes_per_rank, root=0):
+    """Binomial-tree scatter: same tree as :func:`bcast`, but each edge
+    carries only the bytes destined for the receiving subtree (the
+    root's buffer halves at every level, mirroring MPICH)."""
+    n, r = rank.size, rank.rank
+    if n == 1:
+        return
+    seq = rank._next_seq()
+    relative = (r - root) % n
+    mask = 1
+    while mask < n:
+        if relative & mask:
+            src = (r - mask) % n
+            yield rank.recv(src, tag=("sca", seq))
+            break
+        mask <<= 1
+    mask >>= 1
+    pending = []
+    while mask > 0:
+        if relative + mask < n:
+            dst = (r + mask) % n
+            block = min(mask, n - (relative + mask))  # ranks in that subtree
+            pending.append(rank.isend(dst, nbytes_per_rank * block, tag=("sca", seq)))
+        mask >>= 1
+    for ev in pending:
+        yield ev
+
+
+def gather(rank, nbytes_per_rank, root=0):
+    """Binomial-tree gather (reverse of scatter): blocks aggregate on the
+    way up, so a parent forwards its whole subtree's bytes."""
+    n, r = rank.size, rank.rank
+    if n == 1:
+        return
+    seq = rank._next_seq()
+    relative = (r - root) % n
+    mask = 1
+    collected = 1  # blocks I currently hold (mine)
+    while mask < n:
+        if relative & mask == 0:
+            source_rel = relative + mask
+            if source_rel < n:
+                yield rank.recv((source_rel + root) % n, tag=("gth", seq, mask))
+                collected += min(mask, n - source_rel)
+        else:
+            parent = ((relative & ~mask) + root) % n
+            yield rank.isend(parent, nbytes_per_rank * collected, tag=("gth", seq, mask))
+            break
+        mask <<= 1
+
+
+def reduce_scatter(rank, nbytes_total):
+    """Recursive-halving reduce-scatter (power-of-two core; excess ranks
+    fold first like allreduce).  Each rank ends with nbytes_total/n."""
+    n, r = rank.size, rank.rank
+    if n == 1:
+        return
+    seq = rank._next_seq()
+    m = 1 << (n.bit_length() - 1)
+    rem = n - m
+    if r >= m:
+        yield rank.isend(r - m, nbytes_total, tag=("rsF", seq))
+    elif r < rem:
+        yield rank.recv(r + m, tag=("rsF", seq))
+    if r < m:
+        piece = nbytes_total
+        mask, k = 1, 0
+        while mask < m:
+            partner = r ^ mask
+            piece = max(1, piece // 2)
+            send_ev = rank.isend(partner, piece, tag=("rsH", seq, k))
+            yield rank.recv(partner, tag=("rsH", seq, k))
+            yield send_ev
+            mask <<= 1
+            k += 1
+    # Folded ranks receive their scattered piece back.
+    if r < rem:
+        yield rank.isend(r + m, max(1, nbytes_total // n), tag=("rsU", seq))
+    elif r >= m:
+        yield rank.recv(r - m, tag=("rsU", seq))
+
+
+def ring_allreduce(rank, nbytes):
+    """Bandwidth-optimal ring allreduce (the algorithm behind the
+    resnet-proxy's gradient reductions in large-scale training): 2(n-1)
+    steps moving nbytes/n each — reduce-scatter ring then allgather ring."""
+    n, r = rank.size, rank.rank
+    if n == 1:
+        return
+    seq = rank._next_seq()
+    chunk = max(1, nbytes // n)
+    right = (r + 1) % n
+    left = (r - 1) % n
+    for phase, tag in (("rs", 0), ("ag", 1)):
+        for step in range(n - 1):
+            send_ev = rank.isend(right, chunk, tag=("ring", seq, tag, step))
+            yield rank.recv(left, tag=("ring", seq, tag, step))
+            yield send_ev

@@ -1,0 +1,78 @@
+"""Software-stack latency model (paper §II-G, Fig. 5).
+
+The paper measures RTT/2 through five software paths — IB verbs,
+libfabric, MPI (all three over RoCEv2 RDMA), and UDP/TCP sockets through
+the kernel.  The ordering and shapes in Fig. 5 come from three per-layer
+quantities, modelled here:
+
+* ``overhead_ns`` — fixed per-message one-way software cost (post/poll,
+  tag matching, syscalls, interrupts ...);
+* ``per_byte_ns`` — extra per-byte cost from data copies (zero for the
+  RDMA paths, nonzero for the socket paths);
+* ``bandwidth_factor`` — fraction of NIC line rate the path can sustain.
+
+``half_rtt`` combines these with a network base latency and the wire
+serialization time into the analytic Fig. 5 curves; the Fig. 5 bench
+also cross-checks the RDMA layers against the packet simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..network.units import gbps
+
+__all__ = ["StackLayer", "LAYERS", "half_rtt", "layer"]
+
+
+@dataclass(frozen=True)
+class StackLayer:
+    name: str
+    overhead_ns: float  # fixed one-way software overhead per message
+    per_byte_ns: float  # copy cost per payload byte (one-way)
+    bandwidth_factor: float  # achievable fraction of NIC bandwidth
+    max_inline: int = 0  # bytes piggybacked without a rendezvous
+
+    def one_way(self, size: int, network_base_ns: float, nic_bw: float) -> float:
+        """One-way latency (ns) for a *size*-byte message."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        wire = size / (nic_bw * self.bandwidth_factor)
+        return self.overhead_ns + self.per_byte_ns * size + network_base_ns + wire
+
+
+#: Calibrated to the paper's Fig. 5: at 8 B, verbs ~1.3 us, libfabric
+#: ~1.6 us, MPI ~1.8 us RTT/2, with UDP and TCP an order of magnitude
+#: higher; at 16 MiB every RDMA path converges to wire bandwidth while
+#: the socket paths stay copy-limited.
+LAYERS: Dict[str, StackLayer] = {
+    "ib_verbs": StackLayer("ib_verbs", overhead_ns=900.0, per_byte_ns=0.0, bandwidth_factor=0.97),
+    "libfabric": StackLayer("libfabric", overhead_ns=1_150.0, per_byte_ns=0.0, bandwidth_factor=0.97),
+    "mpi": StackLayer("mpi", overhead_ns=1_400.0, per_byte_ns=0.0, bandwidth_factor=0.96),
+    "udp": StackLayer("udp", overhead_ns=9_000.0, per_byte_ns=0.12, bandwidth_factor=0.70),
+    "tcp": StackLayer("tcp", overhead_ns=14_000.0, per_byte_ns=0.18, bandwidth_factor=0.60),
+}
+
+
+def layer(name: str) -> StackLayer:
+    try:
+        return LAYERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown stack layer {name!r}; choose from {sorted(LAYERS)}"
+        ) from None
+
+
+def half_rtt(
+    size: int,
+    layer_name: str,
+    network_base_ns: float = 450.0,
+    nic_bw: float = gbps(100),
+) -> float:
+    """Analytic RTT/2 for the Fig. 5 reproduction.
+
+    ``network_base_ns`` is the quiet-network fabric traversal (switch
+    pipelines + wire propagation) excluding serialization.
+    """
+    return layer(layer_name).one_way(size, network_base_ns, nic_bw)

@@ -1,0 +1,43 @@
+"""Network substrate: packets, links, switches, NICs, topologies, fabric."""
+
+from .dragonfly import DragonflyParams, DragonflyTopology, LargestSystem, largest_system
+from .fabric import Fabric, FabricConfig, LinkSpec
+from .nic import NIC
+from .packet import MTU_PAYLOAD, ROCE_HEADER_BYTES, Message, Packet
+from .switch import NUM_VCS, OutputPort, Switch
+from .units import (
+    KiB,
+    MiB,
+    GiB,
+    MS,
+    S,
+    US,
+    gbps,
+    to_gbps,
+)
+
+__all__ = [
+    "DragonflyParams",
+    "DragonflyTopology",
+    "LargestSystem",
+    "largest_system",
+    "Fabric",
+    "FabricConfig",
+    "LinkSpec",
+    "NIC",
+    "Message",
+    "Packet",
+    "MTU_PAYLOAD",
+    "ROCE_HEADER_BYTES",
+    "Switch",
+    "OutputPort",
+    "NUM_VCS",
+    "KiB",
+    "MiB",
+    "GiB",
+    "US",
+    "MS",
+    "S",
+    "gbps",
+    "to_gbps",
+]

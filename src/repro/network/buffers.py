@@ -1,0 +1,92 @@
+"""Input-buffer organization: shared pool + per-VC escape reserves.
+
+Real high-radix switches (Rosetta included — §II-E: "the remaining
+buffers will be dynamically allocated") organize each input buffer as a
+large dynamically shared region plus a small dedicated slice per virtual
+channel.  Both halves matter here:
+
+* the **shared pool** is what makes tree saturation contagious: transit
+  congestion parked in the shared region starves *other* traffic that
+  arrives on the same wire, even on a different VC;
+* the **per-VC reserve** guarantees forward progress on every VC, which
+  preserves the deadlock-freedom argument (a packet on VC k can always
+  eventually use VC k+1's reserve downstream, and VCs increase strictly
+  along any path).
+
+Accounting: a packet draws its buffer slot from the shared pool when it
+fits, otherwise from its VC's reserve (`Packet.buf_shared` records the
+choice so the release is symmetric).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim import Credits, Simulator
+
+__all__ = ["VcBufferPool"]
+
+
+class VcBufferPool:
+    """One wire's receive buffer: shared bytes + per-VC reserved bytes.
+
+    Waiter management is deduplicated by callback identity: a blocked
+    port registers once, no matter how many times it re-arms before the
+    next release, so listener lists stay bounded by the number of ports
+    sharing the pool (an earlier one-shot-list design leaked hundreds of
+    thousands of stale entries under saturation).
+    """
+
+    __slots__ = ("shared", "reserved", "_waiters")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        shared_bytes: float,
+        reserve_bytes: float,
+        n_vcs: int,
+    ):
+        if shared_bytes <= 0 or reserve_bytes <= 0:
+            raise ValueError("buffer slices must be positive")
+        self.shared = Credits(sim, shared_bytes)
+        self.reserved: List[Credits] = [
+            Credits(sim, reserve_bytes) for _ in range(n_vcs)
+        ]
+        self._waiters: dict = {}
+
+    def can_fit(self, vc: int, size: float) -> bool:
+        return (
+            self.shared.available >= size or self.reserved[vc].available >= size
+        )
+
+    def acquire(self, pkt) -> bool:
+        """Take buffer space for *pkt* (marks where it came from)."""
+        if self.shared.try_acquire(pkt.size):
+            pkt.buf_shared = True
+            return True
+        if self.reserved[pkt.vc].try_acquire(pkt.size):
+            pkt.buf_shared = False
+            return True
+        return False
+
+    def release(self, size: float, vc: int, was_shared: bool) -> None:
+        if was_shared:
+            self.shared.release(size)
+        else:
+            self.reserved[vc].release(size)
+        if self._waiters:
+            waiters, self._waiters = self._waiters, {}
+            for fn in waiters.values():
+                fn()
+
+    def notify_on_release(self, vc: int, fn) -> None:
+        """One-shot wakeup on the next release (dedup by callback id)."""
+        self._waiters[id(fn)] = fn
+
+    @property
+    def in_use(self) -> float:
+        return self.shared.in_use + sum(r.in_use for r in self.reserved)
+
+    @property
+    def total(self) -> float:
+        return self.shared.total + sum(r.total for r in self.reserved)

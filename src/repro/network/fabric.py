@@ -1,0 +1,296 @@
+"""Fabric assembly: topology + switches + links + NICs = runnable network.
+
+:class:`Fabric` is the main entry point of the packet-level simulator.
+Construct one from a :class:`FabricConfig`, then either use
+:meth:`Fabric.send` directly or layer :mod:`repro.mpi` on top.
+
+>>> from repro.systems import malbec_mini
+>>> fabric = malbec_mini().build()
+>>> msg = fabric.send(src=0, dst=5, nbytes=4096)
+>>> fabric.sim.run()
+>>> msg.complete
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.adaptive_routing import AdaptiveRouter
+from ..core.congestion_control import CongestionControl, make_cc
+from ..core.traffic_classes import TrafficClass, default_traffic_classes
+from ..sim import Event, Simulator
+from ..sim.rng import stable_hash
+from .dragonfly import DragonflyParams, DragonflyTopology
+from .nic import NIC
+from .packet import ROCE_HEADER_BYTES, Message
+from .switch import OutputPort, Switch
+from .units import KiB, gbps
+
+__all__ = ["LinkSpec", "FabricConfig", "Fabric"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One link tier: bandwidth (B/ns), propagation delay (ns), and the
+    per-TC shared input buffer at the receiving end (bytes; a small
+    per-VC escape reserve is added on top — see repro.network.buffers).
+
+    ``frame_error_rate`` injects transient link errors that are repaired
+    by link-level reliability (LLR, §II-F): each corrupted frame costs a
+    local replay (``replay_latency_ns`` + reserialization) instead of an
+    end-to-end retransmission.  The fabric stays lossless either way.
+    """
+
+    bandwidth: float
+    prop_delay: float
+    buffer_bytes: float
+    frame_error_rate: float = 0.0
+    replay_latency_ns: float = 200.0
+
+    def __post_init__(self):
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.prop_delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+        if self.buffer_bytes <= 0:
+            raise ValueError("buffer must be positive")
+        if not (0.0 <= self.frame_error_rate < 1.0):
+            raise ValueError("frame_error_rate must be in [0, 1)")
+
+
+@dataclass
+class FabricConfig:
+    """Everything needed to build a network.
+
+    The defaults describe a Slingshot system with 200 Gb/s fabric links
+    (25 B/ns), 100 Gb/s ConnectX-5 NICs as in the paper's testbeds,
+    Rosetta's 350 ns pipeline, and the Slingshot congestion control.
+    """
+
+    params: DragonflyParams = field(
+        default_factory=lambda: DragonflyParams(4, 4, 4, links_per_pair=2)
+    )
+    name: str = "slingshot"
+    # copper in-rack, copper in-group, optical between groups (§II-B)
+    host_link: LinkSpec = field(default_factory=lambda: LinkSpec(gbps(200), 15.0, 48 * KiB))
+    local_link: LinkSpec = field(default_factory=lambda: LinkSpec(gbps(200), 20.0, 48 * KiB))
+    global_link: LinkSpec = field(default_factory=lambda: LinkSpec(gbps(200), 300.0, 48 * KiB))
+    nic_bandwidth: float = gbps(100)
+    switch_latency: float = 350.0
+    header_bytes: int = ROCE_HEADER_BYTES
+    classes: List[TrafficClass] = field(default_factory=lambda: default_traffic_classes(1))
+    cc: str = "slingshot"
+    cc_kwargs: Dict = field(default_factory=dict)
+    router_factory: Optional[Callable] = None  # (topology, seed) -> router
+    #: host-port egress backlog above which departing packets are marked
+    mark_threshold: float = 24 * KiB
+    #: fixed NIC/ack processing latency added to each end-to-end ack (ns)
+    ack_overhead: float = 100.0
+    #: Aries-style ingress buffering: all wires into a switch share one
+    #: per-TC pool of ``switch_buffer_bytes``, so congestion parked by one
+    #: flow starves every arrival at that switch.  Slingshot (False) gives
+    #: each wire its own dedicated ``LinkSpec.buffer_bytes``.
+    shared_switch_buffers: bool = False
+    switch_buffer_bytes: float = 256 * KiB
+    seed: int = 0
+
+    def build(self, sim: Optional[Simulator] = None) -> "Fabric":
+        return Fabric(self, sim)
+
+    def with_(self, **changes) -> "FabricConfig":
+        """A copy with the given fields replaced (dataclasses.replace)."""
+        return replace(self, **changes)
+
+
+class Fabric:
+    """A built network: switches, NICs, wires, and message bookkeeping."""
+
+    def __init__(self, config: FabricConfig, sim: Optional[Simulator] = None):
+        self.config = config
+        self.sim = sim if sim is not None else Simulator()
+        self.topology = DragonflyTopology(config.params)
+        router_factory = config.router_factory or (
+            lambda topo, seed: AdaptiveRouter(topo, seed)
+        )
+        self.router = router_factory(self.topology, config.seed)
+        self.cc: CongestionControl = make_cc(config.cc, **config.cc_kwargs)
+
+        self.switches: List[Switch] = [
+            Switch(
+                self.sim,
+                s,
+                self.topology.switch_group(s),
+                config.switch_latency,
+                self.router,
+            )
+            for s in range(self.topology.n_switches)
+        ]
+        self.nics: List[NIC] = [
+            NIC(
+                self.sim,
+                n,
+                self.cc,
+                config.switch_latency,
+                config.header_bytes,
+                ack_overhead=config.ack_overhead,
+                nic_lookup=self._nic_lookup,
+            )
+            for n in range(self.topology.n_nodes)
+        ]
+        self._ingress_pools: Dict[int, List] = {}
+        self._wire_everything()
+        self.messages_sent = 0
+        self.messages_completed = 0
+
+    def _nic_lookup(self, node: int) -> NIC:
+        return self.nics[node]
+
+    # -- wiring ----------------------------------------------------------------
+
+    def _switch_pools(self, switch_id: int):
+        """Shared per-switch ingress pools (Aries-style), built lazily."""
+        pools = self._ingress_pools.get(switch_id)
+        if pools is None:
+            from .buffers import VcBufferPool
+            from .switch import NUM_VCS, VC_RESERVE_BYTES
+
+            pools = [
+                VcBufferPool(
+                    self.sim,
+                    self.config.switch_buffer_bytes,
+                    VC_RESERVE_BYTES,
+                    NUM_VCS,
+                )
+                for _ in self.config.classes
+            ]
+            self._ingress_pools[switch_id] = pools
+        return pools
+
+    def _port(self, owner, kind: str, rx, spec: LinkSpec, bandwidth=None, name="") -> OutputPort:
+        pools = None
+        if self.config.shared_switch_buffers and isinstance(rx, Switch):
+            pools = self._switch_pools(rx.id)
+        return OutputPort(
+            self.sim,
+            owner,
+            kind,
+            rx,
+            bandwidth if bandwidth is not None else spec.bandwidth,
+            spec.prop_delay,
+            self.config.classes,
+            spec.buffer_bytes,
+            mark_threshold=self.config.mark_threshold,
+            name=name,
+            pools=pools,
+            error_rate=spec.frame_error_rate,
+            replay_latency=spec.replay_latency_ns,
+            seed=self.config.seed,
+        )
+
+    def _wire_everything(self) -> None:
+        cfg = self.config
+        # Local links: one bidirectional link per switch pair inside a group.
+        for si, sj in self.topology.all_local_links():
+            a, b = self.switches[si], self.switches[sj]
+            a.port_to_switch[sj] = self._port(a, "local", b, cfg.local_link, name=f"L{si}->{sj}")
+            b.port_to_switch[si] = self._port(b, "local", a, cfg.local_link, name=f"L{sj}->{si}")
+        # Global links (possibly several parallel ones per switch pair).
+        for si, sj in self.topology.all_global_links():
+            a, b = self.switches[si], self.switches[sj]
+            ga, gb = a.group, b.group
+            a.ports_to_group.setdefault(gb, []).append(
+                self._port(a, "global", b, cfg.global_link, name=f"G{si}->{sj}")
+            )
+            b.ports_to_group.setdefault(ga, []).append(
+                self._port(b, "global", a, cfg.global_link, name=f"G{sj}->{si}")
+            )
+        # Host links: switch <-> NIC both directions.  The NIC's injection
+        # rate may be below the switch port rate (100 Gb/s CX-5 on a
+        # 200 Gb/s port in the paper's testbeds).
+        for n, nic in enumerate(self.nics):
+            s = self.topology.node_switch(n)
+            sw = self.switches[s]
+            sw.port_to_node[n] = self._port(sw, "host", nic, cfg.host_link, name=f"H{s}->{n}")
+            nic.out_port = self._port(
+                nic,
+                "inject",
+                sw,
+                cfg.host_link,
+                bandwidth=min(cfg.nic_bandwidth, cfg.host_link.bandwidth),
+                name=f"I{n}->{s}",
+            )
+
+    # -- traffic API -------------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        tc: int = 0,
+        tag=None,
+        on_complete: Optional[Callable[[Message], None]] = None,
+    ) -> Message:
+        """Inject a message; returns immediately with the live Message."""
+        if not (0 <= src < len(self.nics)) or not (0 <= dst < len(self.nics)):
+            raise ValueError(f"bad endpoints {src}->{dst}")
+        if not (0 <= tc < len(self.config.classes)):
+            raise ValueError(f"traffic class {tc} not configured")
+        msg = Message(src, dst, nbytes, tc=tc, tag=tag)
+        self.messages_sent += 1
+
+        def _done(m: Message, user_cb=on_complete) -> None:
+            self.messages_completed += 1
+            if user_cb is not None:
+                user_cb(m)
+
+        msg.on_complete = _done
+        self.nics[src].submit(msg)
+        return msg
+
+    def transfer(self, src: int, dst: int, nbytes: int, tc: int = 0, tag=None) -> Event:
+        """Like :meth:`send`, but returns an Event for process code."""
+        ev = self.sim.event()
+        self.send(src, dst, nbytes, tc=tc, tag=tag, on_complete=lambda m: ev.succeed(m))
+        return ev
+
+    # -- accounting / invariants --------------------------------------------------
+
+    def packets_injected(self) -> int:
+        return sum(nic.pkts_injected for nic in self.nics)
+
+    def packets_delivered(self) -> int:
+        return sum(nic.pkts_delivered for nic in self.nics)
+
+    def bytes_delivered(self) -> int:
+        return sum(nic.bytes_delivered for nic in self.nics)
+
+    def assert_quiescent(self) -> None:
+        """After a drained run: everything injected must have arrived and
+        every buffer credit must have been returned (packet conservation)."""
+        inj, dlv = self.packets_injected(), self.packets_delivered()
+        if inj != dlv:
+            raise AssertionError(f"packet loss: injected {inj}, delivered {dlv}")
+        for sw in self.switches:
+            for port in sw.all_ports():
+                if port.backlog != 0:
+                    raise AssertionError(f"residual backlog on {port.name}")
+                for pool in port.credits:
+                    if pool.in_use > 1e-9:
+                        raise AssertionError(f"leaked credits on {port.name}")
+
+    def host_port(self, node: int) -> OutputPort:
+        """The switch egress port feeding *node* (for telemetry hooks)."""
+        return self.switches[self.topology.node_switch(node)].port_to_node[node]
+
+    def node_distance(self, a: int, b: int) -> int:
+        """Inter-switch hop count classification used by the paper's Fig. 4:
+        1 = same switch, 2 = same group, 3 = different groups."""
+        sa, sb = self.topology.node_switch(a), self.topology.node_switch(b)
+        if sa == sb:
+            return 1
+        if self.topology.switch_group(sa) == self.topology.switch_group(sb):
+            return 2
+        return 3

@@ -1,0 +1,217 @@
+"""Network interface controller model.
+
+The NIC is where the paper's congestion-control story lives on the send
+side: every destination gets its own :class:`~repro.core.congestion_control.PairState`
+with an outstanding-packet window managed by the configured
+:class:`~repro.core.congestion_control.CongestionControl` strategy.  Packets
+beyond the window wait in a per-destination pending queue in host
+memory; acks returned by the receiving NIC (carrying the last-hop
+congestion mark) drive the window.
+
+On the receive side the NIC consumes packets at line rate (the wire
+serialization at the last-hop switch port is the real bottleneck),
+reassembles messages, fires completion callbacks, and sends the
+end-to-end ack.  Acks travel a contention-free reverse path: the paper
+notes ack overhead is ~4 bytes per forward packet, far below the level
+where reverse-direction bandwidth matters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.congestion_control import CongestionControl, PairState
+from ..sim import Simulator
+from .packet import Message, Packet
+from .switch import OutputPort
+
+__all__ = ["NIC"]
+
+
+class NIC:
+    """One network endpoint (a node's network interface)."""
+
+    __slots__ = (
+        "sim",
+        "node",
+        "cc",
+        "switch_latency",
+        "ack_overhead",
+        "out_port",
+        "pairs",
+        "header_bytes",
+        "rx_messages",
+        "on_message",
+        "bytes_injected",
+        "bytes_delivered",
+        "pkts_injected",
+        "pkts_delivered",
+        "acks_marked",
+        "acks_clean",
+        "nic_lookup",
+        "idle_reset_ns",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: int,
+        cc: CongestionControl,
+        switch_latency: float,
+        header_bytes: int,
+        ack_overhead: float = 100.0,
+        nic_lookup: Optional[Callable[[int], "NIC"]] = None,
+        idle_reset_ns: float = 100_000.0,
+    ):
+        self.sim = sim
+        self.node = node
+        self.cc = cc
+        self.switch_latency = switch_latency
+        self.header_bytes = header_bytes
+        #: fixed extra latency on the ack path (NIC processing, ack wire time)
+        self.ack_overhead = ack_overhead
+        self.out_port: Optional[OutputPort] = None  # set by the fabric builder
+        self.pairs: Dict[int, PairState] = {}
+        self.rx_messages: Dict[int, Message] = {}
+        #: delivery hook: called with each completed Message at this NIC
+        self.on_message: Optional[Callable[[Message], None]] = None
+        self.bytes_injected = 0
+        self.bytes_delivered = 0
+        self.pkts_injected = 0
+        self.pkts_delivered = 0
+        self.acks_marked = 0
+        self.acks_clean = 0
+        #: resolves a node id to its NIC (set by the fabric builder)
+        self.nic_lookup = nic_lookup
+        #: CC state for a pair idle this long resets to the initial window
+        self.idle_reset_ns = idle_reset_ns
+
+    # -- send side ----------------------------------------------------------
+
+    def submit(self, msg: Message) -> None:
+        """Queue a message for transmission (returns immediately)."""
+        if msg.src != self.node:
+            raise ValueError(f"message src {msg.src} submitted at NIC {self.node}")
+        msg.submit_time = self.sim.now
+        if msg.dst == self.node:
+            # Loopback: the paper's systems never self-send over the wire;
+            # deliver after NIC processing only.
+            self.sim.schedule(self.ack_overhead, self._deliver_loopback, msg)
+            return
+        state = self._pair(msg.dst)
+        # Idle pairs age out: hardware tracking state for a quiet
+        # destination resets, so a fresh burst starts at the initial
+        # window again (this is what makes bursty congestion transiently
+        # effective in the paper's Fig. 12).
+        if (
+            self.idle_reset_ns > 0
+            and self.sim.now - state.last_activity_ns > self.idle_reset_ns
+        ):
+            state.window = self.cc.initial_window()
+        state.last_activity_ns = self.sim.now
+        for pkt in msg.packets(self.header_bytes):
+            state.pending.append(pkt)
+        self._pump(state)
+
+    def _pair(self, dst: int) -> PairState:
+        state = self.pairs.get(dst)
+        if state is None:
+            state = PairState(window=self.cc.initial_window())
+            self.pairs[dst] = state
+        return state
+
+    def _pump(self, state: PairState) -> None:
+        now = self.sim.now
+        while state.pending and state.in_flight < max(state.window, 1.0):
+            paced = state.window < 1.0
+            if paced and now < state.next_send_ns:
+                if not state.pace_armed:
+                    state.pace_armed = True
+                    self.sim.schedule(state.next_send_ns - now, self._pace_fire, state)
+                return
+            pkt = state.pending.popleft()
+            state.in_flight += 1
+            pkt.inject_time = now
+            self.bytes_injected += pkt.size
+            self.pkts_injected += 1
+            if paced:
+                # Fractional window => rate pacing: one packet per
+                # (serialization / window) interval.
+                state.next_send_ns = now + pkt.size / self.out_port.bandwidth / state.window
+            self.out_port.enqueue(pkt)
+
+    def _pace_fire(self, state: PairState) -> None:
+        state.pace_armed = False
+        self._pump(state)
+
+    def _deliver_loopback(self, msg: Message) -> None:
+        msg.delivered_packets = msg.npackets
+        msg.first_arrival_time = self.sim.now
+        msg.complete_time = self.sim.now
+        if msg.on_complete is not None:
+            msg.on_complete(msg)
+        if self.on_message is not None:
+            self.on_message(msg)
+
+    # -- receive side ---------------------------------------------------------
+
+    def receive(self, pkt: Packet, from_port: OutputPort) -> None:
+        """Wire delivery at the destination NIC."""
+        # The NIC drains its RX buffer at line rate: free the last-hop
+        # switch buffer slot right away (credit returns over the wire).
+        # pkt.vc/buf_shared are still as the last-hop port acquired them
+        # (only switches bump them), so they index the right pool here.
+        self.sim.schedule(
+            from_port.prop_delay,
+            from_port.credits[pkt.tc].release,
+            pkt.size,
+            pkt.vc,
+            pkt.buf_shared,
+        )
+        self.bytes_delivered += pkt.size
+        self.pkts_delivered += 1
+        msg = pkt.message
+        if msg is not None:
+            msg.delivered_packets += 1
+            if msg.first_arrival_time is None:
+                msg.first_arrival_time = self.sim.now
+            if msg.complete and msg.complete_time is None:
+                msg.complete_time = self.sim.now
+                if msg.on_complete is not None:
+                    msg.on_complete(msg)
+                if self.on_message is not None:
+                    self.on_message(msg)
+        # End-to-end ack back to the source (contention-free reverse path:
+        # wire propagation both ways + switch pipelines + NIC overhead).
+        src_nic = self.nic_lookup(pkt.src)
+        ack_latency = pkt.prop_sum + pkt.hops * self.switch_latency + self.ack_overhead
+        self.sim.schedule(ack_latency, src_nic.on_ack, pkt)
+
+    # -- ack path -------------------------------------------------------------
+
+    def on_ack(self, pkt: Packet) -> None:
+        state = self.pairs[pkt.dst]
+        state.in_flight -= 1
+        state.last_activity_ns = self.sim.now
+        if pkt.marked:
+            self.acks_marked += 1
+        else:
+            self.acks_clean += 1
+        self.cc.on_ack(state, pkt.marked, self.sim.now)
+        self._pump(state)
+
+    # -- introspection ----------------------------------------------------------
+
+    def window(self, dst: int) -> float:
+        """Current congestion window towards *dst* (diagnostics)."""
+        state = self.pairs.get(dst)
+        return state.window if state else self.cc.initial_window()
+
+    def queued_bytes(self) -> float:
+        """Bytes waiting in host memory for window space (diagnostics)."""
+        return float(
+            sum(p.size for s in self.pairs.values() for p in s.pending)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NIC(node={self.node})"

@@ -1,0 +1,182 @@
+"""Packets and messages.
+
+A :class:`Message` is a host-level transfer of N payload bytes; the NIC
+segments it into :class:`Packet` objects of at most one MTU of payload
+each, plus the RoCEv2 header/trailer overhead the paper details (§II-G:
+Ethernet 26 B incl. preamble + IPv4 20 B + UDP 8 B + InfiniBand 14 B +
+ICRC 4 B = 62 B on a 4 KiB-payload packet).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from .units import KiB
+
+__all__ = ["Packet", "Message", "MTU_PAYLOAD", "ROCE_HEADER_BYTES"]
+
+#: Slingshot RoCEv2 data packets carry up to 4 KiB of data (paper §II-G).
+MTU_PAYLOAD = 4 * KiB
+#: Total header+trailer bytes per RoCEv2 packet (paper §II-G).
+ROCE_HEADER_BYTES = 62
+
+_next_pid = 0
+_next_mid = 0
+
+
+def _fresh_pid() -> int:
+    global _next_pid
+    _next_pid += 1
+    return _next_pid
+
+
+def _fresh_mid() -> int:
+    global _next_mid
+    _next_mid += 1
+    return _next_mid
+
+
+class Packet:
+    """One wire packet.
+
+    Routing state lives on the packet: ``intermediate_group`` is the
+    Valiant misroute target chosen by the injection switch (or None for a
+    minimal route) and ``arrival_port`` is the upstream output port whose
+    buffer credits the packet currently occupies.
+    """
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "size",
+        "payload",
+        "tc",
+        "vc",
+        "message",
+        "inject_time",
+        "hops",
+        "path",
+        "prop_sum",
+        "intermediate_group",
+        "arrival_port",
+        "arrival_vc",
+        "buf_shared",
+        "arrival_buf_shared",
+        "marked",
+        "is_last",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        payload: int,
+        tc: int = 0,
+        message: Optional["Message"] = None,
+        header_bytes: int = ROCE_HEADER_BYTES,
+        is_last: bool = False,
+    ):
+        self.pid = _fresh_pid()
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = payload + header_bytes
+        self.tc = tc
+        self.message = message
+        self.vc = 0  # virtual channel; bumped per switch hop (deadlock avoidance)
+        self.inject_time = 0.0
+        self.hops = 0  # switch traversals so far
+        self.path: List[int] = []  # switch ids visited (for diagnostics)
+        self.prop_sum = 0.0  # accumulated wire propagation (for ack latency)
+        self.intermediate_group: Optional[int] = None
+        self.arrival_port: Any = None
+        self.arrival_vc = 0
+        self.buf_shared = True  # current buffer slot from the shared pool?
+        self.arrival_buf_shared = True
+        self.marked = False
+        self.is_last = is_last
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Packet(pid={self.pid}, {self.src}->{self.dst}, "
+            f"{self.payload}B, tc={self.tc}, hops={self.hops})"
+        )
+
+
+class Message:
+    """A host-to-host transfer; completes when every packet has arrived."""
+
+    __slots__ = (
+        "mid",
+        "src",
+        "dst",
+        "nbytes",
+        "tc",
+        "tag",
+        "npackets",
+        "delivered_packets",
+        "submit_time",
+        "first_arrival_time",
+        "complete_time",
+        "on_complete",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        tc: int = 0,
+        tag: Any = None,
+    ):
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        self.mid = _fresh_mid()
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.tc = tc
+        self.tag = tag
+        self.npackets = max(1, -(-nbytes // MTU_PAYLOAD))  # ceil, min 1
+        self.delivered_packets = 0
+        self.submit_time = 0.0
+        self.first_arrival_time: Optional[float] = None
+        self.complete_time: Optional[float] = None
+        self.on_complete: Optional[Callable[["Message"], None]] = None
+        self.meta: Any = None
+
+    def packets(self, header_bytes: int = ROCE_HEADER_BYTES) -> List[Packet]:
+        """Segment the message into MTU-sized packets."""
+        pkts: List[Packet] = []
+        remaining = self.nbytes
+        for i in range(self.npackets):
+            chunk = min(MTU_PAYLOAD, remaining) if self.nbytes > 0 else 0
+            remaining -= chunk
+            pkts.append(
+                Packet(
+                    self.src,
+                    self.dst,
+                    chunk,
+                    tc=self.tc,
+                    message=self,
+                    header_bytes=header_bytes,
+                    is_last=(i == self.npackets - 1),
+                )
+            )
+        return pkts
+
+    @property
+    def complete(self) -> bool:
+        return self.delivered_packets >= self.npackets
+
+    def wire_bytes(self, header_bytes: int = ROCE_HEADER_BYTES) -> int:
+        """Total bytes on the wire including per-packet overhead."""
+        return self.nbytes + self.npackets * header_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Message(mid={self.mid}, {self.src}->{self.dst}, "
+            f"{self.nbytes}B in {self.npackets} pkts)"
+        )

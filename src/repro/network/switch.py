@@ -1,0 +1,315 @@
+"""Switch and output-port queueing model.
+
+This is the *fast* switch model used for whole-fabric simulation: a
+switch is a routing function plus a fixed pipeline latency (the 350 ns
+the paper measures for Rosetta, Fig. 2), and each output port is a
+serializing transmitter with
+
+* one queue per traffic class (virtual output queueing means a packet
+  only ever waits behind packets for the *same* output, which is exactly
+  what per-output egress queues model);
+* credit-based link-level flow control toward the downstream input
+  buffer, partitioned per traffic class and per virtual channel;
+* a :class:`~repro.core.traffic_classes.TcScheduler` arbitrating between
+  traffic classes (priority, DRR on guarantees, caps).
+
+Virtual channels implement the standard dragonfly deadlock-avoidance
+scheme: a packet's VC equals the number of switch hops taken so far, so
+buffer dependencies always point from lower to higher VCs and can never
+cycle.  The cycle-accurate *internal* model of the Rosetta tile grid
+(row buses, 16:8 column crossbars, request/grant) lives separately in
+:mod:`repro.core.rosetta` and is used for the Figure 2 reproduction.
+
+Tree saturation — the mechanism behind the paper's Aries victim numbers
+— emerges naturally here: when an incast fills the input buffers of the
+last-hop switch, upstream ports lose credits and stall, their queues
+fill, and any victim packet that shares one of those buffers waits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.traffic_classes import TcScheduler, TrafficClass
+from ..sim import Simulator
+from .buffers import VcBufferPool
+
+__all__ = ["OutputPort", "Switch", "NUM_VCS", "VC_RESERVE_BYTES"]
+
+#: Dedicated escape buffer per VC per wire (two MTU packets).  The small
+#: per-VC reserve keeps the network deadlock-free; the big shared pool
+#: (LinkSpec.buffer_bytes) is what congestion actually fills.
+VC_RESERVE_BYTES = 8400.0
+
+#: Max switch traversals on any allowed path (local, global, local,
+#: global, local, plus the destination switch) — one VC per hop.
+NUM_VCS = 6
+
+
+class OutputPort:
+    """Transmit side of one unidirectional wire, plus the downstream
+    input buffer it is credit-flow-controlled against."""
+
+    __slots__ = (
+        "sim",
+        "owner",
+        "kind",
+        "rx",
+        "bandwidth",
+        "prop_delay",
+        "queues",
+        "credits",
+        "scheduler",
+        "busy",
+        "backlog",
+        "mark_threshold",
+        "bytes_sent",
+        "pkts_sent",
+        "marks_set",
+        "name",
+        "_retry_armed",
+        "on_dequeue",
+        "error_rate",
+        "replay_latency",
+        "replays",
+        "_err_rng",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner,
+        kind: str,
+        rx,
+        bandwidth: float,
+        prop_delay: float,
+        classes: Sequence[TrafficClass],
+        buffer_bytes: float,
+        mark_threshold: float = float("inf"),
+        name: str = "",
+        pools: Optional[List[VcBufferPool]] = None,
+        error_rate: float = 0.0,
+        replay_latency: float = 200.0,
+        seed: int = 0,
+    ):
+        if kind not in ("host", "local", "global", "inject"):
+            raise ValueError(f"unknown port kind {kind!r}")
+        self.sim = sim
+        self.owner = owner
+        self.kind = kind
+        self.rx = rx  # downstream entity with .receive(pkt, from_port)
+        self.bandwidth = bandwidth
+        self.prop_delay = prop_delay
+        ntc = len(classes)
+        self.queues: List[deque] = [deque() for _ in range(ntc)]
+        # credits[tc] models the downstream per-TC input buffer: a shared
+        # pool plus per-VC escape reserves (see repro.network.buffers).
+        # When *pools* is given (Aries-style switch-shared ingress memory)
+        # several wires into the same switch draw from one pool, which is
+        # what lets transit congestion starve unrelated arrivals there.
+        if pools is not None:
+            self.credits = pools
+        else:
+            self.credits = [
+                VcBufferPool(sim, buffer_bytes, VC_RESERVE_BYTES, NUM_VCS)
+                for _ in range(ntc)
+            ]
+        self.scheduler = TcScheduler(classes, bandwidth)
+        self.busy = False
+        self.backlog = 0.0  # queued + in-service bytes at this port
+        self.mark_threshold = mark_threshold
+        self.bytes_sent = 0
+        self.pkts_sent = 0
+        self.marks_set = 0
+        self.name = name
+        self._retry_armed = False
+        #: optional hook fired with each dequeued packet (telemetry)
+        self.on_dequeue: Optional[Callable] = None
+        # Link-level reliability: transient frame errors are replayed
+        # locally (LLR, paper §II-F).  Zero-cost when error_rate == 0.
+        self.error_rate = error_rate
+        self.replay_latency = replay_latency
+        self.replays = 0
+        self._err_rng = None
+        if error_rate > 0.0:
+            import random as _random
+
+            from ..sim.rng import stable_hash
+
+            self._err_rng = _random.Random(stable_hash("llr", seed, name))
+
+    # -- congestion telemetry (adaptive routing reads these) ---------------
+
+    @property
+    def credited_bytes(self) -> float:
+        """Bytes sitting in the downstream buffer, not yet forwarded.
+
+        This is the "request queue credits" congestion signal the paper
+        describes (§II-A/§II-C): it sees one hop beyond the local queue.
+        """
+        return sum(pool.in_use for pool in self.credits)
+
+    def congestion_score(self) -> float:
+        """Estimated cost of routing another packet through this port."""
+        return self.backlog + self.credited_bytes
+
+    # -- data path ----------------------------------------------------------
+
+    def enqueue(self, pkt) -> None:
+        self.queues[pkt.tc].append(pkt)
+        self.backlog += pkt.size
+        if not self.busy:
+            self._try_send()
+
+    def _head_size(self, tc: int) -> Optional[float]:
+        q = self.queues[tc]
+        return q[0].size if q else None
+
+    def _eligible(self, tc: int) -> bool:
+        pkt = self.queues[tc][0]
+        return self.credits[tc].can_fit(pkt.vc, pkt.size)
+
+    def _try_send(self) -> None:
+        if self.busy:
+            return
+        tc = self.scheduler.select(self.sim.now, self._head_size, self._eligible)
+        if tc is None:
+            self._arm_retry()
+            return
+        # Progress: clear the retry arming so the next blockage re-arms.
+        # (A stale one-shot listener may still fire later; _retry is
+        # idempotent, so that costs one wasted select at worst.)
+        self._retry_armed = False
+        q = self.queues[tc]
+        pkt = q.popleft()
+        if not q:
+            self.scheduler.reset_deficit(tc)
+        if not self.credits[tc].acquire(pkt):
+            raise RuntimeError("scheduler selected an ineligible queue")
+        # Endpoint-congestion marking: a deep queue at a host-facing port
+        # is endpoint congestion, and every packet that had to wait in it
+        # carries the mark back to its source in the ack (paper §II-D).
+        if self.backlog > self.mark_threshold and self.kind == "host":
+            pkt.marked = True
+            self.marks_set += 1
+        if self.on_dequeue is not None:
+            self.on_dequeue(pkt)
+        self.busy = True
+        wire_time = pkt.size / self.bandwidth
+        if self._err_rng is not None:
+            # LLR: geometric number of transmissions; each corrupted one
+            # costs a replay round-trip plus reserialization, all local
+            # to this link (no end-to-end retransmission).
+            while self._err_rng.random() < self.error_rate:
+                wire_time += self.replay_latency + pkt.size / self.bandwidth
+                self.replays += 1
+        self.sim.schedule(wire_time, self._on_sent, pkt)
+
+    def _arm_retry(self) -> None:
+        """Wake up when credits return or a rate cap unblocks."""
+        if self._retry_armed:
+            return
+        pending = False
+        for tc, q in enumerate(self.queues):
+            if q:
+                pending = True
+                self.credits[tc].notify_on_release(q[0].vc, self._retry)
+        if not pending:
+            return
+        self._retry_armed = True
+        t = self.scheduler.earliest_uncap_time(self.sim.now, self._head_size)
+        if t is not None and t > self.sim.now:
+            self.sim.schedule(t - self.sim.now, self._retry)
+
+    def _retry(self) -> None:
+        self._retry_armed = False
+        if not self.busy:
+            self._try_send()
+
+    def _on_sent(self, pkt) -> None:
+        self.busy = False
+        self.backlog -= pkt.size
+        self.bytes_sent += pkt.size
+        self.pkts_sent += 1
+        # The packet has physically left the owner: return the credit for
+        # the upstream buffer slot it occupied (credit flies back over the
+        # upstream wire).
+        # The pool slot must be released as it was acquired on that wire —
+        # the downstream switch bumps pkt.vc/buf_shared before this runs,
+        # so the arrival_* fields carry the original indices.
+        up = pkt.arrival_port
+        if up is not None:
+            self.sim.schedule(
+                up.prop_delay,
+                up.credits[pkt.tc].release,
+                pkt.size,
+                pkt.arrival_vc,
+                pkt.arrival_buf_shared,
+            )
+        pkt.prop_sum += self.prop_delay
+        self.sim.schedule(self.prop_delay, self.rx.receive, pkt, self)
+        self._try_send()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"OutputPort({self.name or self.kind}, backlog={self.backlog:.0f}B)"
+
+
+class Switch:
+    """A switch in the fabric: routing function + pipeline latency.
+
+    Port maps are filled in by the fabric builder:
+
+    * ``port_to_switch[s]`` — the local port towards switch *s* (same group);
+    * ``ports_to_group[g]`` — global ports towards group *g* (may be several);
+    * ``port_to_node[n]`` — the host port for directly attached node *n*.
+    """
+
+    __slots__ = (
+        "sim",
+        "id",
+        "group",
+        "latency",
+        "router",
+        "port_to_switch",
+        "ports_to_group",
+        "port_to_node",
+        "pkts_forwarded",
+    )
+
+    def __init__(self, sim: Simulator, switch_id: int, group: int, latency: float, router):
+        self.sim = sim
+        self.id = switch_id
+        self.group = group
+        self.latency = latency
+        self.router = router
+        self.port_to_switch: Dict[int, OutputPort] = {}
+        self.ports_to_group: Dict[int, List[OutputPort]] = {}
+        self.port_to_node: Dict[int, OutputPort] = {}
+        self.pkts_forwarded = 0
+
+    def all_ports(self) -> List[OutputPort]:
+        out = list(self.port_to_switch.values())
+        for ports in self.ports_to_group.values():
+            out.extend(ports)
+        out.extend(self.port_to_node.values())
+        return out
+
+    def receive(self, pkt, from_port: OutputPort) -> None:
+        """Wire delivery: the packet now occupies this switch's input buffer."""
+        pkt.arrival_port = from_port
+        pkt.arrival_vc = pkt.vc
+        pkt.arrival_buf_shared = pkt.buf_shared
+        self.sim.schedule(self.latency, self._forward, pkt)
+
+    def _forward(self, pkt) -> None:
+        pkt.hops += 1
+        # VC = hops taken so far; strictly increasing => no buffer cycles.
+        pkt.vc = min(pkt.hops, NUM_VCS - 1)
+        pkt.path.append(self.id)
+        self.pkts_forwarded += 1
+        out = self.router.route(self, pkt)
+        out.enqueue(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Switch(id={self.id}, group={self.group})"

@@ -1,0 +1,61 @@
+"""Unit conventions and named constants.
+
+The whole package uses one consistent unit system:
+
+* time: **nanoseconds** (float)
+* size: **bytes** (int)
+* bandwidth: **bytes per nanosecond** (float) — numerically equal to GB/s.
+
+Conversions: 1 Gb/s = 0.125 B/ns, so a 200 Gb/s Slingshot link moves
+25 B/ns and a 100 Gb/s ConnectX-5 link moves 12.5 B/ns.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "US",
+    "MS",
+    "S",
+    "gbps",
+    "to_gbps",
+    "GBPS_PER_BYTES_NS",
+    "SLINGSHOT_LINK_GBPS",
+    "CX5_NIC_GBPS",
+    "ARIES_INJECTION_GBPS",
+    "ROSETTA_RADIX",
+    "ROSETTA_SWITCH_LATENCY_NS",
+]
+
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+
+US = 1_000.0  # microsecond in ns
+MS = 1_000_000.0  # millisecond in ns
+S = 1_000_000_000.0  # second in ns
+
+GBPS_PER_BYTES_NS = 8.0  # bytes/ns -> Gb/s multiplier
+
+#: Rosetta switch port speed (paper §II-A).
+SLINGSHOT_LINK_GBPS = 200.0
+#: Mellanox ConnectX-5 EN NICs used in the paper's testbeds (§I).
+CX5_NIC_GBPS = 100.0
+#: Aries peak injection bandwidth per node (paper §IV-A).
+ARIES_INJECTION_GBPS = 81.6
+#: Rosetta port count (paper §II-A).
+ROSETTA_RADIX = 64
+#: Measured mean/median Rosetta traversal latency (paper Fig. 2).
+ROSETTA_SWITCH_LATENCY_NS = 350.0
+
+
+def gbps(rate_gbps: float) -> float:
+    """Convert Gb/s to bytes/ns."""
+    return rate_gbps / GBPS_PER_BYTES_NS
+
+
+def to_gbps(bytes_per_ns: float) -> float:
+    """Convert bytes/ns to Gb/s."""
+    return bytes_per_ns * GBPS_PER_BYTES_NS

@@ -1,0 +1,31 @@
+"""Self-contained discrete-event simulation engine (SimPy-style).
+
+The substrate every other subsystem runs on: a deterministic event queue
+(:class:`Simulator`), generator-based processes (:class:`Process`),
+blocking resources (:class:`Store`, :class:`Credits`, :class:`Gate`),
+seeded RNG streams (:class:`RngFactory`) and measurement recorders.
+"""
+
+from .engine import Event, Simulator, StopSimulation
+from .process import AllOf, AnyOf, Interrupt, Process
+from .resources import Credits, Gate, Store
+from .rng import RngFactory, stable_hash
+from .trace import RateMeter, SeriesRecorder, TallyRecorder
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "StopSimulation",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Store",
+    "Credits",
+    "Gate",
+    "RngFactory",
+    "stable_hash",
+    "SeriesRecorder",
+    "TallyRecorder",
+    "RateMeter",
+]

@@ -1,0 +1,181 @@
+"""Blocking resources built on the event engine.
+
+These primitives model the flow-control machinery of the fabric:
+
+* :class:`Store` — a bounded FIFO of items; ``put`` blocks when full,
+  ``get`` blocks when empty.  Used for switch egress queues.
+* :class:`Credits` — a counting semaphore over an integer quantity
+  (bytes, packets, ...); ``acquire`` blocks until enough units are free.
+  Used for link-level credit flow control and buffer pools.
+* :class:`Gate` — a level-triggered open/closed barrier; waiters pass
+  while open.  Used for congestion-control windows that open and close.
+
+All wait queues are strict FIFOs, so service is first-come-first-served
+and deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from .engine import Event, Simulator
+
+__all__ = ["Store", "Credits", "Gate"]
+
+
+class Store:
+    """Bounded FIFO queue with blocking put/get."""
+
+    __slots__ = ("sim", "capacity", "items", "_putters", "_getters")
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.sim)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            if self._putters:
+                putter, item = self._putters.popleft()
+                self.items.append(item)
+                putter.succeed()
+        elif self._putters:
+            # Capacity zero-ish race: pass the blocked item straight through.
+            putter, item = self._putters.popleft()
+            putter.succeed()
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns None when empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        if self._putters:
+            putter, blocked = self._putters.popleft()
+            self.items.append(blocked)
+            putter.succeed()
+        return item
+
+
+class Credits:
+    """Counting semaphore over an arbitrary integer/float quantity."""
+
+    __slots__ = ("sim", "total", "available", "_waiters", "_release_listeners")
+
+    def __init__(self, sim: Simulator, total: float):
+        if total <= 0:
+            raise ValueError("total credits must be positive")
+        self.sim = sim
+        self.total = total
+        self.available = total
+        self._waiters: Deque[Tuple[Event, float]] = deque()
+        self._release_listeners: list = []
+
+    @property
+    def in_use(self) -> float:
+        return self.total - self.available
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self, amount: float = 1) -> Event:
+        if amount > self.total:
+            raise ValueError(
+                f"cannot acquire {amount} from a pool of {self.total}: would deadlock"
+            )
+        ev = Event(self.sim)
+        # FIFO: do not let a small request overtake a blocked large one.
+        if not self._waiters and self.available >= amount:
+            self.available -= amount
+            ev.succeed()
+        else:
+            self._waiters.append((ev, amount))
+        return ev
+
+    def try_acquire(self, amount: float = 1) -> bool:
+        if not self._waiters and self.available >= amount:
+            self.available -= amount
+            return True
+        return False
+
+    def release(self, amount: float = 1) -> None:
+        self.available += amount
+        if self.available > self.total + 1e-9:
+            raise RuntimeError(
+                f"credit over-release: {self.available} > total {self.total}"
+            )
+        while self._waiters and self.available >= self._waiters[0][1]:
+            ev, amt = self._waiters.popleft()
+            self.available -= amt
+            ev.succeed()
+        if self._release_listeners:
+            listeners, self._release_listeners = self._release_listeners, []
+            for fn in listeners:
+                fn()
+
+    def notify_on_release(self, fn) -> None:
+        """Call *fn* (one-shot) the next time credits are released.
+
+        Used by output ports to retry a blocked transmission the moment
+        downstream buffer space frees up.
+        """
+        self._release_listeners.append(fn)
+
+
+class Gate:
+    """Level-triggered barrier: processes wait while closed, pass while open."""
+
+    __slots__ = ("sim", "_open", "_waiters")
+
+    def __init__(self, sim: Simulator, open_: bool = True):
+        self.sim = sim
+        self._open = open_
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> Event:
+        ev = Event(self.sim)
+        if self._open:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def open(self) -> None:
+        self._open = True
+        while self._waiters:
+            self._waiters.popleft().succeed()
+
+    def close(self) -> None:
+        self._open = False

@@ -1,0 +1,42 @@
+"""Seeded random-number streams for reproducible simulations.
+
+Every stochastic component draws from its own named substream derived
+from the experiment's master seed, so adding a component (or reordering
+draws inside one) never perturbs the random sequence seen by the others.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngFactory", "stable_hash"]
+
+
+def stable_hash(*parts: object) -> int:
+    """Platform- and run-stable 64-bit hash of the given parts.
+
+    Python's builtin ``hash`` is salted per process; this one is not, so
+    substream derivation is reproducible across runs and machines.
+    """
+    digest = hashlib.blake2b(
+        "\x1f".join(str(p) for p in parts).encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class RngFactory:
+    """Derives independent named numpy Generators from one master seed."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def stream(self, *name: object) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed & 0xFFFFFFFF, stable_hash(*name)])
+        )
+
+    def spawn(self, *name: object) -> "RngFactory":
+        """A child factory whose streams are disjoint from the parent's."""
+        return RngFactory(stable_hash(self.seed, "spawn", *name))

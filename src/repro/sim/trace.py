@@ -1,0 +1,111 @@
+"""Measurement recorders for simulations.
+
+* :class:`SeriesRecorder` — (time, value) samples, for rate-vs-time plots
+  such as the paper's Figure 14.
+* :class:`TallyRecorder` — scalar observations (latencies, durations) with
+  quantile summaries, for distribution figures such as Figures 2 and 8.
+* :class:`RateMeter` — byte counter windowed into a bandwidth time series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SeriesRecorder", "TallyRecorder", "RateMeter"]
+
+
+class SeriesRecorder:
+    """Append-only (time, value) series."""
+
+    __slots__ = ("times", "values")
+
+    def __init__(self):
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)
+
+
+class TallyRecorder:
+    """Scalar observations with summary statistics."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self):
+        self.samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        self.samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    def median(self) -> float:
+        return float(np.median(self.samples))
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.samples, q))
+
+    def quartiles(self) -> Tuple[float, float, float]:
+        q1, q2, q3 = np.percentile(self.samples, [25, 50, 75])
+        return float(q1), float(q2), float(q3)
+
+    def summary(self) -> Dict[str, float]:
+        a = np.asarray(self.samples)
+        return {
+            "n": int(a.size),
+            "mean": float(a.mean()),
+            "median": float(np.median(a)),
+            "min": float(a.min()),
+            "max": float(a.max()),
+            "p95": float(np.percentile(a, 95)),
+            "p99": float(np.percentile(a, 99)),
+        }
+
+
+class RateMeter:
+    """Counts bytes and reports bandwidth per fixed window.
+
+    ``add(t, nbytes)`` attributes *nbytes* to the window containing *t*;
+    ``series()`` yields (window midpoint ns, bytes/ns) pairs.
+    """
+
+    __slots__ = ("window_ns", "_bins")
+
+    def __init__(self, window_ns: float):
+        if window_ns <= 0:
+            raise ValueError("window must be positive")
+        self.window_ns = window_ns
+        self._bins: Dict[int, float] = {}
+
+    def add(self, t: float, nbytes: float) -> None:
+        self._bins[int(t // self.window_ns)] = (
+            self._bins.get(int(t // self.window_ns), 0.0) + nbytes
+        )
+
+    def series(self, t_end: Optional[float] = None) -> Tuple[np.ndarray, np.ndarray]:
+        if not self._bins:
+            return np.array([]), np.array([])
+        last = max(self._bins)
+        if t_end is not None:
+            last = max(last, int(t_end // self.window_ns))
+        idx = np.arange(0, last + 1)
+        rates = np.array([self._bins.get(int(i), 0.0) for i in idx]) / self.window_ns
+        mids = (idx + 0.5) * self.window_ns
+        return mids, rates
+
+    def total_bytes(self) -> float:
+        return float(sum(self._bins.values()))

@@ -1,0 +1,173 @@
+"""Named system configurations (paper §III).
+
+The paper evaluates three machines; each gets a config factory here, at
+two scales:
+
+* ``*_paper()`` — the real machine's structure (groups, switches/group,
+  nodes/switch, global links per group pair).  Buildable, but hundreds
+  of runs at this scale are slow in pure Python.
+* The default (``crystal()``, ``malbec()``, ``shandy()``) — a scaled-down
+  instance with the *same number of groups* and the same group-level
+  wiring ratios, used by the benchmark harness.  Congestion phenomena in
+  dragonflies are governed by the group structure and the
+  oversubscription ratios, both preserved.
+
+Aries vs Slingshot differences modelled (paper §III-A, §IV-A):
+
+=====================  =======================  ==========================
+quantity               Aries (Crystal)          Slingshot (Malbec/Shandy)
+=====================  =======================  ==========================
+link bandwidth         5.25 GB/s optical /      25 B/ns (200 Gb/s)
+                       10 B/ns local
+injection per node     10.2 B/ns (81.6 Gb/s)    12.5 B/ns (100 Gb/s CX-5)
+switch latency         ~150 ns                  350 ns (Fig. 2)
+endpoint CC            none (tree saturation)   per-pair windows
+buffers per VC         shallow (12 KiB)         deep (48 KiB)
+=====================  =======================  ==========================
+"""
+
+from __future__ import annotations
+
+from .core.adaptive_routing import AdaptiveRouter
+from .network.dragonfly import DragonflyParams
+from .network.fabric import FabricConfig, LinkSpec
+from .network.units import KiB, gbps
+
+__all__ = [
+    "crystal",
+    "malbec",
+    "shandy",
+    "crystal_paper",
+    "malbec_paper",
+    "shandy_paper",
+    "malbec_mini",
+    "shandy_mini",
+    "crystal_mini",
+    "slingshot_config",
+    "aries_config",
+]
+
+
+def slingshot_config(
+    params: DragonflyParams,
+    name: str = "slingshot",
+    nic_gbps: float = 100.0,
+    link_gbps: float = 200.0,
+    **overrides,
+) -> FabricConfig:
+    """A Slingshot-flavoured fabric on an arbitrary dragonfly."""
+    bw = gbps(link_gbps)
+    cfg = FabricConfig(
+        params=params,
+        name=name,
+        host_link=LinkSpec(bw, 15.0, 48 * KiB),
+        local_link=LinkSpec(bw, 20.0, 48 * KiB),
+        global_link=LinkSpec(bw, 300.0, 48 * KiB),
+        nic_bandwidth=gbps(nic_gbps),
+        switch_latency=350.0,
+        cc="slingshot",
+        mark_threshold=24 * KiB,
+    )
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+def aries_config(
+    params: DragonflyParams,
+    name: str = "aries",
+    **overrides,
+) -> FabricConfig:
+    """An Aries-flavoured fabric: slower links, shallow buffers, no
+    endpoint congestion control."""
+    # Deep switch-shared buffers and no endpoint CC: the combination that
+    # lets incast build machine-wide standing queues (tree saturation)
+    # that starve unrelated traffic on Aries.
+    cfg = FabricConfig(
+        params=params,
+        name=name,
+        host_link=LinkSpec(10.2, 15.0, 48 * KiB),
+        local_link=LinkSpec(10.0, 20.0, 48 * KiB),
+        global_link=LinkSpec(5.25, 300.0, 48 * KiB),
+        nic_bandwidth=10.2,
+        switch_latency=150.0,
+        cc="none",
+        shared_switch_buffers=True,
+        switch_buffer_bytes=256 * KiB,
+        # Aries adaptive routing is similar in spirit (§III-A); reuse the
+        # same router.
+        router_factory=lambda topo, seed: AdaptiveRouter(topo, seed),
+        mark_threshold=float("inf"),  # nothing consumes marks anyway
+    )
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+# -- paper-scale systems ------------------------------------------------------
+
+
+def malbec_paper(**overrides) -> FabricConfig:
+    """MALBEC: 484-node Slingshot, 4 groups of <=128 nodes (8 switches of
+    16 hosts), 48 global links per group (16 per group pair)."""
+    params = DragonflyParams(16, 8, 4, links_per_pair=16)
+    return slingshot_config(params, name="malbec", **overrides)
+
+
+def shandy_paper(**overrides) -> FabricConfig:
+    """SHANDY: 1024-node Slingshot, 8 groups of 128 nodes.  The real
+    machine attaches each node's two ConnectX-5 NICs to two of the
+    group's 16 switches; we model one endpoint per node (8 per switch)
+    and keep the 8 global links per group pair (56 per group) that give
+    the paper's 6.4 TB/s bisection / 12.8 TB/s all-to-all peaks."""
+    params = DragonflyParams(8, 16, 8, links_per_pair=8)
+    return slingshot_config(params, name="shandy", **overrides)
+
+
+def crystal_paper(**overrides) -> FabricConfig:
+    """CRYSTAL: 698-node Aries, 2 groups of <=384 nodes.  Real Aries
+    groups are a 2D (16x6) all-to-all; we keep the dragonfly abstraction
+    with 16 switches of 24 hosts per group, which preserves diameter and
+    the global/injection bandwidth ratio."""
+    params = DragonflyParams(24, 16, 2, links_per_pair=64)
+    return aries_config(params, name="crystal", **overrides)
+
+
+# -- benchmark-scale systems (same group structure, fewer nodes) ---------------
+
+
+def malbec_mini(**overrides) -> FabricConfig:
+    """Malbec at small scale: 4 groups x 5 switches x 4 hosts = 80 nodes.
+
+    Five switches per group (not four) keeps job splits from aligning
+    with switch/group boundaries — on the real 484-node machine a
+    power-of-two job never aligns with the 121-node groups either, and
+    that misalignment is what couples victim and aggressor."""
+    params = DragonflyParams(4, 5, 4, links_per_pair=5)
+    return slingshot_config(params, name="malbec-mini", **overrides)
+
+
+def shandy_mini(**overrides) -> FabricConfig:
+    """Shandy at small scale: 8 groups x 3 switches x 4 hosts = 96 nodes."""
+    params = DragonflyParams(4, 3, 8, links_per_pair=2)
+    return slingshot_config(params, name="shandy-mini", **overrides)
+
+
+def crystal_mini(**overrides) -> FabricConfig:
+    """Crystal at small scale: 2 groups x 10 switches x 4 hosts = 80 nodes.
+
+    Like the real Crystal (groups of 384 on a 698-node machine), group
+    size deliberately does not divide typical job sizes."""
+    params = DragonflyParams(4, 10, 2, links_per_pair=20)
+    return aries_config(params, name="crystal-mini", **overrides)
+
+
+# -- default aliases used by the benches ---------------------------------------
+
+
+def malbec(**overrides) -> FabricConfig:
+    return malbec_mini(**overrides)
+
+
+def shandy(**overrides) -> FabricConfig:
+    return shandy_mini(**overrides)
+
+
+def crystal(**overrides) -> FabricConfig:
+    return crystal_mini(**overrides)

@@ -1,0 +1,192 @@
+"""HPC and AI application proxies (paper Table I).
+
+Each proxy keeps the application's *communication skeleton* and a
+calibrated compute phase.  The paper's own explanation of why full
+applications suffer less than microbenchmarks is that "communications
+are just a part of the overall execution time" — so what matters for
+the congestion figures is (a) the pattern and (b) the compute/
+communication ratio, both of which these proxies preserve:
+
+* **MILC** (su3_rmd) — 4D lattice QCD: point-to-point neighbour
+  exchanges on a 4D grid plus global reductions [37].
+* **HPCG** — 27-point stencil halos plus the dot-product allreduces of
+  preconditioned CG [3].
+* **LAMMPS** — short-range MD: 6-way neighbour exchange (spatial
+  decomposition), small global reductions, notable compute [38].
+* **FFT** — 3D FFT pencil decomposition: the alltoall transposes
+  dominate [39], [40].
+* **resnet-proxy** — data-parallel DNN training: per-minibatch gradient
+  bucket allreduces overlapped with backprop compute [41], [42].
+
+``compute_ns`` values give isolated communication fractions of roughly
+30-60%, in the range production studies report; the congestion figures
+are ratios, so only this fraction (not absolute speed) matters.
+"""
+
+from __future__ import annotations
+
+from ..network.units import KiB, US
+from .ember import _neighbors_3d, grid_dims
+
+__all__ = ["milc", "hpcg", "lammps", "fft3d", "resnet_proxy", "APP_FACTORIES"]
+
+
+def _neighbors_4d(r: int, dims) -> list:
+    """Face neighbours on a non-periodic 4D grid."""
+    px, py, pz, pt = dims
+    coords = [r % px, (r // px) % py, (r // (px * py)) % pz, r // (px * py * pz)]
+    out = []
+    for axis, extent in enumerate(dims):
+        for step in (-1, 1):
+            c = coords[:]
+            c[axis] += step
+            if 0 <= c[axis] < extent:
+                out.append(c[0] + c[1] * px + c[2] * px * py + c[3] * px * py * pz)
+    return out
+
+
+def _grid4(n: int):
+    """Most balanced 4D factorization of n."""
+    best, best_score = (n, 1, 1, 1), None
+    for a in range(1, n + 1):
+        if n % a:
+            continue
+        for b in range(1, n // a + 1):
+            if (n // a) % b:
+                continue
+            rest = n // (a * b)
+            for c in range(1, rest + 1):
+                if rest % c:
+                    continue
+                d = rest // c
+                dims = (a, b, c, d)
+                score = max(dims) - min(dims)
+                if best_score is None or score < best_score:
+                    best, best_score = dims, score
+    return best
+
+
+def milc(iterations: int = 10, face_bytes: int = 16 * KiB, compute_ns: float = 60 * US):
+    """su3_rmd step: 4D halo exchange + global reduction + compute."""
+
+    def main(rank, record):
+        dims = _grid4(rank.size)
+        nbrs = _neighbors_4d(rank.rank, dims)
+        for it in range(iterations):
+            t0 = rank.sim.now
+            yield rank.compute(compute_ns)
+            sends = [
+                rank.isend(nb, face_bytes, tag=("milc", it, rank.rank)) for nb in nbrs
+            ]
+            for nb in nbrs:
+                yield rank.recv(nb, tag=("milc", it, nb))
+            for ev in sends:
+                yield ev
+            yield from rank.allreduce(8)
+            record(it, rank.sim.now - t0)
+
+    main.name = "MILC"
+    main.iterations = iterations
+    return main
+
+
+def hpcg(iterations: int = 10, halo_bytes: int = 8 * KiB, compute_ns: float = 50 * US):
+    """One CG iteration: stencil halo + two dot-product allreduces."""
+
+    def main(rank, record):
+        dims = grid_dims(rank.size)
+        nbrs = _neighbors_3d(rank.rank, dims)
+        for it in range(iterations):
+            t0 = rank.sim.now
+            yield rank.compute(compute_ns)
+            sends = [
+                rank.isend(nb, halo_bytes, tag=("hpcg", it, rank.rank)) for nb in nbrs
+            ]
+            for nb in nbrs:
+                yield rank.recv(nb, tag=("hpcg", it, nb))
+            for ev in sends:
+                yield ev
+            yield from rank.allreduce(8)  # dot product
+            yield rank.compute(compute_ns / 2)
+            yield from rank.allreduce(8)  # convergence check
+            record(it, rank.sim.now - t0)
+
+    main.name = "HPCG"
+    main.iterations = iterations
+    return main
+
+
+def lammps(iterations: int = 10, exch_bytes: int = 32 * KiB, compute_ns: float = 120 * US):
+    """MD timestep: 6-way ghost-atom exchange + small reduction."""
+
+    def main(rank, record):
+        dims = grid_dims(rank.size)
+        nbrs = _neighbors_3d(rank.rank, dims)
+        for it in range(iterations):
+            t0 = rank.sim.now
+            yield rank.compute(compute_ns)
+            sends = [
+                rank.isend(nb, exch_bytes, tag=("lmp", it, rank.rank)) for nb in nbrs
+            ]
+            for nb in nbrs:
+                yield rank.recv(nb, tag=("lmp", it, nb))
+            for ev in sends:
+                yield ev
+            yield from rank.allreduce(8)  # thermo output reduction
+            record(it, rank.sim.now - t0)
+
+    main.name = "LAMMPS"
+    main.iterations = iterations
+    return main
+
+
+def fft3d(iterations: int = 8, bytes_per_rank: int = 8 * KiB, compute_ns: float = 30 * US):
+    """3D FFT step: two pencil transposes (alltoall) around 1D FFTs."""
+
+    def main(rank, record):
+        for it in range(iterations):
+            t0 = rank.sim.now
+            yield rank.compute(compute_ns)
+            yield from rank.alltoall(bytes_per_rank)
+            yield rank.compute(compute_ns)
+            yield from rank.alltoall(bytes_per_rank)
+            record(it, rank.sim.now - t0)
+
+    main.name = "FFT"
+    main.iterations = iterations
+    return main
+
+
+def resnet_proxy(
+    iterations: int = 8,
+    bucket_bytes: int = 64 * KiB,
+    n_buckets: int = 4,
+    compute_ns: float = 150 * US,
+):
+    """Data-parallel training step: backprop compute with overlapped
+    non-blocking gradient-bucket allreduces, then a wait-all."""
+
+    def main(rank, record):
+        for it in range(iterations):
+            t0 = rank.sim.now
+            procs = []
+            per_bucket = compute_ns / n_buckets
+            for _b in range(n_buckets):
+                yield rank.compute(per_bucket)  # produce the next gradients
+                procs.append(rank.sim.process(rank.allreduce(bucket_bytes)))
+            yield procs  # MPI_Waitall on the non-blocking reductions
+            record(it, rank.sim.now - t0)
+
+    main.name = "resnet-proxy"
+    main.iterations = iterations
+    return main
+
+
+#: Table I victims by paper name (HPC side; Tailbench lives next door).
+APP_FACTORIES = {
+    "MILC": milc,
+    "HPCG": hpcg,
+    "LAMMPS": lammps,
+    "FFT": fft3d,
+    "resnet-proxy": resnet_proxy,
+}

@@ -1,0 +1,47 @@
+"""Bursty congestion (paper Fig. 12).
+
+The persistent incast of :mod:`repro.workloads.gpcnet` is replaced by an
+on/off source: each aggressor rank sends a *burst* of ``burst_size``
+messages at the target, then idles for ``gap_ns``, forever.  Fig. 12
+sweeps burst size (1..1e6 messages), gap (1..1e6 us), and the
+aggressor's message size (16 KiB / 128 KiB / 1 MiB) against a 128 B
+alltoall victim:
+
+* tiny messages never build a queue → no impact;
+* huge messages give the congestion control time to clamp the source →
+  no impact;
+* medium (128 KiB) messages hurt *transiently*: a burst builds queue
+  before the per-pair window collapses, so impact grows with burst size
+  and shrinks with gap — topping out around 1.2x on Slingshot.
+"""
+
+from __future__ import annotations
+
+from ..network.units import KiB
+
+__all__ = ["bursty_incast_congestor"]
+
+
+def bursty_incast_congestor(
+    message_bytes: int = 128 * KiB,
+    burst_size: int = 100,
+    gap_ns: float = 10_000.0,
+    target_rank: int = 0,
+):
+    """On/off incast: *burst_size* puts, then *gap_ns* of silence."""
+    if burst_size < 1:
+        raise ValueError("burst_size must be >= 1")
+    if gap_ns < 0:
+        raise ValueError("gap cannot be negative")
+
+    def main(rank):
+        if rank.rank == target_rank:
+            while True:
+                yield 1_000_000.0
+        while True:
+            for _ in range(burst_size):
+                yield rank.put(target_rank, message_bytes)
+            yield gap_ns
+
+    main.name = f"bursty-incast[{message_bytes}B x{burst_size} gap={gap_ns:.0f}ns]"
+    return main

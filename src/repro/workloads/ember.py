@@ -1,0 +1,142 @@
+"""Ember communication-pattern microbenchmarks (paper §III-A, [50]).
+
+The paper uses three ember patterns as victims: halo3d (nearest-
+neighbour exchange on a 3D domain), sweep3d (pipelined wavefront), and
+incast.  These reproduce the communication skeletons; sizes follow the
+heatmap's column labels (halo3d at 8 B-16 KiB per face, sweep3d at
+128 B / 512 B, incast at 8 B-16 KiB).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["halo3d", "sweep3d", "incast_bench", "grid_dims"]
+
+
+def grid_dims(n: int) -> Tuple[int, int, int]:
+    """Factor *n* ranks into the most cubic (px, py, pz) grid."""
+    best = (n, 1, 1)
+    best_score = None
+    for px in range(1, n + 1):
+        if n % px:
+            continue
+        rest = n // px
+        for py in range(1, rest + 1):
+            if rest % py:
+                continue
+            pz = rest // py
+            score = max(px, py, pz) - min(px, py, pz)
+            if best_score is None or score < best_score:
+                best_score = score
+                best = (px, py, pz)
+    return best
+
+
+def _neighbors_3d(r: int, dims: Tuple[int, int, int]) -> List[int]:
+    """Face-neighbour ranks of rank *r* in a non-periodic 3D grid."""
+    px, py, pz = dims
+    x = r % px
+    y = (r // px) % py
+    z = r // (px * py)
+    out = []
+    for dx, dy, dz in (
+        (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1),
+    ):
+        nx, ny, nz = x + dx, y + dy, z + dz
+        if 0 <= nx < px and 0 <= ny < py and 0 <= nz < pz:
+            out.append(nx + ny * px + nz * px * py)
+    return out
+
+
+def halo3d(face_bytes: int, iterations: int = 20, compute_ns: float = 0.0):
+    """3D halo exchange: each iteration swaps one face with every
+    neighbour, then computes."""
+
+    def main(rank, record):
+        dims = grid_dims(rank.size)
+        nbrs = _neighbors_3d(rank.rank, dims)
+        for it in range(iterations):
+            t0 = rank.sim.now
+            sends = [
+                rank.isend(nb, face_bytes, tag=("halo", it, rank.rank, nb))
+                for nb in nbrs
+            ]
+            for nb in nbrs:
+                yield rank.recv(nb, tag=("halo", it, nb, rank.rank))
+            for ev in sends:
+                yield ev
+            if compute_ns:
+                yield rank.compute(compute_ns)
+            record(it, rank.sim.now - t0)
+
+    main.name = f"halo3d_{face_bytes}B"
+    main.iterations = iterations
+    return main
+
+
+def sweep3d(plane_bytes: int, iterations: int = 20, compute_ns: float = 200.0):
+    """Pipelined wavefront on a 2D process grid (the classic sweep3d
+    skeleton): receive from west and north, compute, send east and south;
+    one sweep per iteration, corner origin alternating so the pipeline
+    reverses like the real code's octant sweeps."""
+
+    def main(rank, record):
+        px, py, _ = grid_dims(rank.size)
+        # use a 2D decomposition (pz folded into py)
+        py = rank.size // px
+        if px * py != rank.size:
+            px, py = rank.size, 1
+        x, y = rank.rank % px, rank.rank // px
+        for it in range(iterations):
+            t0 = rank.sim.now
+            forward = it % 2 == 0
+            if forward:
+                west = rank.rank - 1 if x > 0 else None
+                north = rank.rank - px if y > 0 else None
+                east = rank.rank + 1 if x < px - 1 else None
+                south = rank.rank + px if y < py - 1 else None
+            else:
+                west = rank.rank + 1 if x < px - 1 else None
+                north = rank.rank + px if y < py - 1 else None
+                east = rank.rank - 1 if x > 0 else None
+                south = rank.rank - px if y > 0 else None
+            if west is not None:
+                yield rank.recv(west, tag=("swp", it, west))
+            if north is not None:
+                yield rank.recv(north, tag=("swp", it, north))
+            if compute_ns:
+                yield rank.compute(compute_ns)
+            pending = []
+            if east is not None:
+                pending.append(rank.isend(east, plane_bytes, tag=("swp", it, rank.rank)))
+            if south is not None:
+                pending.append(rank.isend(south, plane_bytes, tag=("swp", it, rank.rank)))
+            for ev in pending:
+                yield ev
+            record(it, rank.sim.now - t0)
+
+    main.name = f"sweep3d_{plane_bytes}B"
+    main.iterations = iterations
+    return main
+
+
+def incast_bench(nbytes: int, iterations: int = 20, target: int = 0):
+    """Ember incast: everyone sends to rank *target* each iteration."""
+
+    def main(rank, record):
+        n, r = rank.size, rank.rank
+        for it in range(iterations):
+            t0 = rank.sim.now
+            if r == target:
+                for src in range(n):
+                    if src != target:
+                        yield rank.recv(src, tag=("inc", it))
+            else:
+                yield rank.send(target, nbytes, tag=("inc", it))
+            record(it, rank.sim.now - t0)
+            yield from rank.barrier()
+
+    main.name = f"incast_{nbytes}B"
+    main.iterations = iterations
+    return main

@@ -1,0 +1,73 @@
+"""GPCNet-style congestors (paper §III-A).
+
+The paper induces the two canonical congestion types with the GPCNet
+patterns:
+
+* **endpoint congestion** — many-to-one "incast": every aggressor rank
+  fires 128 KiB ``MPI_Put`` operations at a single target endpoint,
+  back to back, forever.  All paths into the target's last-hop port
+  saturate; adaptive routing cannot help.
+* **intermediate congestion** — an all-to-all over the aggressor nodes
+  (pairwise ``MPI_Sendrecv`` rotation, 128 KiB per pair), loading the
+  fabric core; adaptive routing *can* route around it.
+
+The 128 KiB default follows the paper's choice, itself based on the
+~1e5-byte average message size measured on production systems [49].
+"""
+
+from __future__ import annotations
+
+from ..network.units import KiB
+
+__all__ = ["incast_congestor", "alltoall_congestor", "AGGRESSOR_MESSAGE_BYTES"]
+
+#: Aggressors exchange 128 KiB messages (paper §III-A).
+AGGRESSOR_MESSAGE_BYTES = 128 * KiB
+
+
+def incast_congestor(
+    message_bytes: int = AGGRESSOR_MESSAGE_BYTES,
+    target_rank: int = 0,
+    window: int = 8,
+):
+    """Endpoint congestor: everyone Puts at *target_rank* forever.
+
+    ``window`` puts are kept in flight per sender, matching GPCNet's
+    batches of outstanding RMA operations — a single blocking put per
+    sender would let the source NIC self-pace and underload the target.
+    """
+
+    def main(rank):
+        if rank.rank == target_rank:
+            # The target only absorbs traffic (one-sided puts need no recv).
+            while True:
+                yield 1_000_000.0
+        pending = [rank.put(target_rank, message_bytes) for _ in range(window)]
+        while True:
+            yield pending.pop(0)
+            pending.append(rank.put(target_rank, message_bytes))
+
+    main.name = f"incast[{message_bytes}B]"
+    return main
+
+
+def alltoall_congestor(message_bytes: int = AGGRESSOR_MESSAGE_BYTES):
+    """Intermediate congestor: endless pairwise all-to-all rotation."""
+
+    def main(rank):
+        n, r = rank.size, rank.rank
+        if n == 1:
+            while True:
+                yield 1_000_000.0
+        round_idx = 0
+        while True:
+            i = (round_idx % (n - 1)) + 1
+            dst = (r + i) % n
+            src = (r - i) % n
+            send_ev = rank.isend(dst, message_bytes, tag=("cong", round_idx))
+            yield rank.recv(src, tag=("cong", round_idx))
+            yield send_ev
+            round_idx += 1
+
+    main.name = f"alltoall[{message_bytes}B]"
+    return main

@@ -1,0 +1,95 @@
+"""Victim microbenchmarks (the columns of the paper's Fig. 9 heatmap).
+
+Each factory returns a measured rank program ``fn(rank, record)``: per
+iteration it runs one operation and records its own duration; the runner
+reduces to the max across ranks (GPCNet's reduction).  Message-size
+sweeps reproduce the heatmap's column groups: pingpong, allreduce,
+alltoall, barrier, broadcast.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "pingpong",
+    "allreduce_bench",
+    "alltoall_bench",
+    "barrier_bench",
+    "broadcast_bench",
+    "DEFAULT_ITERATIONS",
+]
+
+DEFAULT_ITERATIONS = 20
+
+
+def _named(fn, name, iterations):
+    fn.name = name
+    fn.iterations = iterations
+    return fn
+
+
+def pingpong(nbytes: int, iterations: int = DEFAULT_ITERATIONS, partner_stride: int = None):
+    """Rank pairs exchange a message back and forth.
+
+    Ranks are paired (i, i + size/2) so the pattern crosses the middle of
+    the allocation; odd world sizes leave the last rank idle (it still
+    records zero-cost iterations so the runner sees a full grid).
+    """
+
+    def main(rank, record):
+        n, r = rank.size, rank.rank
+        half = n // 2
+        for it in range(iterations):
+            t0 = rank.sim.now
+            if r < half:
+                yield rank.send(r + half, nbytes, tag=("pp", it))
+                yield rank.recv(r + half, tag=("pp", it))
+            elif r < 2 * half:
+                yield rank.recv(r - half, tag=("pp", it))
+                yield rank.send(r - half, nbytes, tag=("pp", it))
+            record(it, rank.sim.now - t0)
+
+    return _named(main, f"pingpong_{nbytes}B", iterations)
+
+
+def allreduce_bench(nbytes: int, iterations: int = DEFAULT_ITERATIONS):
+    def main(rank, record):
+        for it in range(iterations):
+            t0 = rank.sim.now
+            yield from rank.allreduce(nbytes)
+            record(it, rank.sim.now - t0)
+
+    return _named(main, f"allreduce_{nbytes}B", iterations)
+
+
+def alltoall_bench(nbytes: int, iterations: int = DEFAULT_ITERATIONS):
+    def main(rank, record):
+        for it in range(iterations):
+            t0 = rank.sim.now
+            yield from rank.alltoall(nbytes)
+            record(it, rank.sim.now - t0)
+
+    return _named(main, f"alltoall_{nbytes}B", iterations)
+
+
+def barrier_bench(iterations: int = DEFAULT_ITERATIONS):
+    def main(rank, record):
+        for it in range(iterations):
+            t0 = rank.sim.now
+            yield from rank.barrier()
+            record(it, rank.sim.now - t0)
+
+    return _named(main, "barrier", iterations)
+
+
+def broadcast_bench(nbytes: int, iterations: int = DEFAULT_ITERATIONS, root: int = 0):
+    def main(rank, record):
+        for it in range(iterations):
+            t0 = rank.sim.now
+            yield from rank.bcast(nbytes, root=root)
+            record(it, rank.sim.now - t0)
+            # Keep iterations separated so a slow leaf cannot lag a round
+            # behind and cross-match (bcast has no built-in back-pressure
+            # on the root).
+            yield from rank.barrier()
+
+    return _named(main, f"broadcast_{nbytes}B", iterations)

@@ -1,0 +1,130 @@
+"""GPCNet-style network-noise metrics (paper §IV-B, [6]).
+
+GPCNet quantifies congestion with a small set of victim patterns and
+reports *noise ratios* — the congested-to-isolated ratio of latency,
+bandwidth, and allreduce performance.  The paper adopts GPCNet's
+congestion-impact definition but argues its two victims (random ring +
+allreduce) are too narrow; this module implements both GPCNet victims so
+the two methodologies can be compared on the same simulated systems.
+
+Victims:
+
+* **random-ring latency** — each rank exchanges 8 B messages with two
+  pseudo-random partners per iteration; reports per-iteration latency.
+* **random-ring bandwidth** — same pattern with large messages; reports
+  achieved per-rank bandwidth.
+* **8-byte allreduce** — the classic global synchronization victim.
+
+:func:`gpcnet_report` runs all three isolated and congested and returns
+the three noise ratios (latency noise uses the 99th percentile, like
+GPCNet's LN metric).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ..network.units import KiB, MS
+from ..sim.rng import stable_hash
+from .gpcnet import incast_congestor
+from .runner import run_workload
+
+__all__ = [
+    "random_ring_latency",
+    "random_ring_bandwidth",
+    "gpcnet_allreduce",
+    "gpcnet_report",
+]
+
+
+def _ring_partners(size: int, iteration: int, seed: int):
+    """A pseudo-random pairing of ranks for one iteration (deterministic
+    across ranks, as GPCNet requires)."""
+    rng = random.Random(stable_hash("gpcnet-ring", seed, iteration))
+    perm = list(range(size))
+    rng.shuffle(perm)
+    # pair consecutive entries of the permutation
+    partner = {}
+    for i in range(0, size - 1, 2):
+        a, b = perm[i], perm[i + 1]
+        partner[a] = b
+        partner[b] = a
+    if size % 2 == 1:
+        partner[perm[-1]] = None
+    return partner
+
+
+def random_ring_latency(nbytes: int = 8, iterations: int = 10, seed: int = 0):
+    """GPCNet's random-ring victim: per-iteration exchange latency."""
+
+    def main(rank, record):
+        for it in range(iterations):
+            partner = _ring_partners(rank.size, it, seed)[rank.rank]
+            t0 = rank.sim.now
+            if partner is not None:
+                send_ev = rank.isend(partner, nbytes, tag=("rr", it))
+                yield rank.recv(partner, tag=("rr", it))
+                yield send_ev
+            record(it, rank.sim.now - t0)
+
+    main.name = f"random-ring-{nbytes}B"
+    main.iterations = iterations
+    return main
+
+
+def random_ring_bandwidth(nbytes: int = 128 * KiB, iterations: int = 6, seed: int = 0):
+    return random_ring_latency(nbytes, iterations, seed)
+
+
+def gpcnet_allreduce(nbytes: int = 8, iterations: int = 10):
+    def main(rank, record):
+        for it in range(iterations):
+            t0 = rank.sim.now
+            yield from rank.allreduce(nbytes)
+            record(it, rank.sim.now - t0)
+
+    main.name = f"gpcnet-allreduce-{nbytes}B"
+    main.iterations = iterations
+    return main
+
+
+def gpcnet_report(
+    config,
+    victim_nodes: Sequence[int],
+    aggressor_nodes: Sequence[int],
+    congestor: Callable = None,
+    max_ns: float = 400 * MS,
+    warmup_ns: float = 1 * MS,
+) -> Dict[str, float]:
+    """GPCNet's headline table: latency noise (p99 ratio), bandwidth
+    noise (mean ratio), and allreduce noise (mean ratio)."""
+    congestor = congestor or incast_congestor()
+
+    def both(workload_factory):
+        iso = run_workload(config, victim_nodes, workload_factory(), max_ns=max_ns)
+        cong = run_workload(
+            config,
+            victim_nodes,
+            workload_factory(),
+            aggressor_nodes=aggressor_nodes,
+            aggressor=congestor,
+            warmup_ns=warmup_ns,
+            max_ns=max_ns,
+        )
+        return np.array(iso.iteration_times), np.array(cong.iteration_times)
+
+    lat_iso, lat_cong = both(random_ring_latency)
+    bw_iso, bw_cong = both(random_ring_bandwidth)
+    ar_iso, ar_cong = both(gpcnet_allreduce)
+    return {
+        # GPCNet LN: tail latency ratio
+        "latency_noise_p99": float(
+            np.percentile(lat_cong, 99) / np.percentile(lat_iso, 99)
+        ),
+        # GPCNet BN: bandwidth ratio (times invert to bandwidths)
+        "bandwidth_noise": float(np.mean(bw_cong) / np.mean(bw_iso)),
+        "allreduce_noise": float(np.mean(ar_cong) / np.mean(ar_iso)),
+    }

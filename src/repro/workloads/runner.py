@@ -1,0 +1,167 @@
+"""Experiment runner: victim (measured) + optional aggressor (congestor).
+
+This is the harness every congestion figure uses.  It
+
+1. builds a fresh fabric from the system config;
+2. maps the victim job onto its nodes and spawns one measured process
+   per rank (the workload calls ``record(iteration, duration)``);
+3. optionally maps an aggressor job (with PPN replication) whose rank
+   processes run forever;
+4. stops the simulation the moment every victim rank finishes;
+5. reduces the per-rank durations to per-iteration times by taking the
+   maximum across ranks — the same reduction GPCNet uses.
+
+The congestion impact C = Tc/Ti of the paper's Equation 1 is then the
+ratio of mean iteration times with and without the aggressor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..mpi import MpiWorld
+from ..network.fabric import Fabric, FabricConfig
+from ..sim import AllOf, StopSimulation
+from ..network.units import MS
+
+__all__ = ["WorkloadResult", "run_workload", "congestion_impact"]
+
+
+@dataclass
+class WorkloadResult:
+    """Per-iteration times (max across ranks) plus run metadata."""
+
+    name: str
+    iteration_times: List[float]
+    sim_time: float
+    completed: bool
+    fabric: Optional[Fabric] = field(default=None, repr=False)
+
+    def mean(self) -> float:
+        return float(np.mean(self.iteration_times))
+
+    def median(self) -> float:
+        return float(np.median(self.iteration_times))
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.iteration_times, q))
+
+
+def run_workload(
+    config: FabricConfig,
+    victim_nodes: Sequence[int],
+    workload: Callable,
+    aggressor_nodes: Sequence[int] = (),
+    aggressor: Optional[Callable] = None,
+    aggressor_ppn: int = 1,
+    victim_tc: int = 0,
+    aggressor_tc: int = 0,
+    stack: str = "mpi",
+    max_ns: float = 500 * MS,
+    warmup_ns: float = 0.0,
+    keep_fabric: bool = False,
+) -> WorkloadResult:
+    """Run one victim (optionally under congestion) and measure it.
+
+    *workload* is ``fn(rank, record)`` returning a generator; *aggressor*
+    is ``fn(rank)`` returning a (typically infinite) generator.
+    ``warmup_ns`` delays the victim's start so a persistent congestor can
+    reach steady state first (tree saturation takes hundreds of
+    microseconds to build; the paper's congestors run throughout).
+    """
+    fabric = config.build()
+    world = MpiWorld(fabric, list(victim_nodes), stack=stack, tc=victim_tc)
+
+    durations: Dict[int, List[float]] = {}
+
+    def record(iteration: int, dt: float) -> None:
+        durations.setdefault(iteration, []).append(dt)
+
+    if warmup_ns > 0:
+
+        def delayed(rank, rec):
+            yield warmup_ns
+            yield from workload(rank, rec)
+
+        delayed.name = getattr(workload, "name", "workload")
+        victim_procs = world.spawn(delayed, record)
+    else:
+        victim_procs = world.spawn(workload, record)
+
+    if aggressor is not None and aggressor_nodes:
+        agg_ranks = [n for n in aggressor_nodes for _ in range(aggressor_ppn)]
+        agg_world = MpiWorld(fabric, agg_ranks, stack=stack, tc=aggressor_tc)
+        agg_world.spawn(aggressor)
+
+    def _stop(_ev) -> None:
+        raise StopSimulation()
+
+    all_done = AllOf(fabric.sim, [p.done_event for p in victim_procs])
+    all_done.add_callback(_stop)
+
+    fabric.sim.run(until=max_ns)
+
+    for p in victim_procs:
+        if p.exception is not None:
+            raise p.exception
+    completed = all(not p.alive for p in victim_procs)
+
+    n_ranks = world.size
+    iteration_times = [
+        max(durs)
+        for it, durs in sorted(durations.items())
+        if len(durs) == n_ranks
+    ]
+    name = getattr(workload, "name", getattr(workload, "__name__", "workload"))
+    return WorkloadResult(
+        name=name,
+        iteration_times=iteration_times,
+        sim_time=fabric.sim.now,
+        completed=completed,
+        fabric=fabric if keep_fabric else None,
+    )
+
+
+def congestion_impact(
+    config: FabricConfig,
+    victim_nodes: Sequence[int],
+    workload: Callable,
+    aggressor_nodes: Sequence[int],
+    aggressor: Callable,
+    aggressor_ppn: int = 1,
+    max_ns: float = 500 * MS,
+    warmup_ns: float = 1.0 * MS,
+    reduce: str = "mean",
+) -> Dict[str, float]:
+    """The paper's congestion impact C = Tc / Ti (Equation 1).
+
+    Returns the isolated and congested summary times and their ratio.
+    The congested run gives the persistent aggressor ``warmup_ns`` of
+    head start so the victim measures steady-state congestion.
+    """
+    isolated = run_workload(
+        config, victim_nodes, workload, max_ns=max_ns
+    )
+    congested = run_workload(
+        config,
+        victim_nodes,
+        workload,
+        aggressor_nodes=aggressor_nodes,
+        aggressor=aggressor,
+        aggressor_ppn=aggressor_ppn,
+        max_ns=max_ns,
+        warmup_ns=warmup_ns,
+    )
+    if not isolated.iteration_times or not congested.iteration_times:
+        raise RuntimeError(
+            f"workload {isolated.name!r} produced no complete iterations "
+            f"(isolated={len(isolated.iteration_times)}, "
+            f"congested={len(congested.iteration_times)})"
+        )
+    agg = {"mean": np.mean, "median": np.median}[reduce]
+    ti = float(agg(isolated.iteration_times))
+    tc = float(agg(congested.iteration_times))
+    return {"ti": ti, "tc": tc, "impact": tc / ti}

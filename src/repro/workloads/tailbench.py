@@ -1,0 +1,98 @@
+"""Tailbench latency-critical datacenter proxies (paper Table I, Fig. 8).
+
+Single-client/single-server request-response applications from
+Tailbench [47].  The paper picked this subset because it spans service
+times from microseconds (silo) to seconds (sphinx); what Fig. 8 measures
+is the distribution of per-request latency with and without an incast
+aggressor on the network.
+
+The proxies preserve the *ordering and spread* of service times but
+compress the absolute scale (sphinx's seconds become milliseconds) so a
+pure-Python simulation finishes; EXPERIMENTS.md records the scaling.
+Request latency = client->server message + service time + response
+message, so an app's network sensitivity falls as its service time
+grows — exactly the sphinx-vs-silo contrast in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..network.units import KiB, US
+from ..sim.rng import stable_hash
+
+__all__ = ["TailbenchApp", "TAILBENCH_APPS", "tailbench_client_server"]
+
+
+@dataclass(frozen=True)
+class TailbenchApp:
+    """Service-time model of one Tailbench application."""
+
+    name: str
+    request_bytes: int
+    response_bytes: int
+    mean_service_ns: float
+    #: lognormal sigma controlling the app's intrinsic tail
+    service_sigma: float
+
+    def sample_service(self, rng) -> float:
+        import math
+
+        mu = math.log(self.mean_service_ns) - self.service_sigma**2 / 2
+        return float(rng.lognormal(mu, self.service_sigma))
+
+
+#: Scaled service times (real scale in comments).  Ordering preserved:
+#: silo (us) << img-dnn << xapian << sphinx (s).
+TAILBENCH_APPS = {
+    "silo": TailbenchApp("silo", 128, 1 * KiB, 20 * US, 0.25),  # real: ~20-60 us OLTP txn
+    "img-dnn": TailbenchApp("img-dnn", 2 * KiB, 256, 150 * US, 0.30),  # real: ~1-10 ms
+    "xapian": TailbenchApp("xapian", 512, 4 * KiB, 400 * US, 0.45),  # real: ~5-12 ms
+    "sphinx": TailbenchApp("sphinx", 8 * KiB, 1 * KiB, 2_000 * US, 0.35),  # real: ~1.5-2.7 s
+}
+
+
+def tailbench_client_server(
+    app: TailbenchApp,
+    n_requests: int = 30,
+    seed: int = 0,
+) -> Callable:
+    """Measured workload for the runner: the first rank is the client,
+    the *last* rank the server, so the request/response traffic spans
+    the job's whole allocation (a same-switch pair would never touch the
+    fabric and could not be congested).
+
+    The recorded per-iteration duration is the client-observed request
+    latency, which is what Fig. 8's distributions show.
+    """
+    import numpy as np
+
+    def main(rank, record):
+        rng = np.random.default_rng(stable_hash("tailbench", app.name, seed, rank.rank))
+        if rank.size < 2:
+            raise ValueError("tailbench needs a client and a server rank")
+        server = rank.size - 1
+        if rank.rank == 0:  # client
+            for it in range(n_requests):
+                t0 = rank.sim.now
+                yield rank.send(server, app.request_bytes, tag=("req", it))
+                yield rank.recv(server, tag=("rsp", it))
+                record(it, rank.sim.now - t0)
+        elif rank.rank == server:  # server
+            for it in range(n_requests):
+                yield rank.recv(0, tag=("req", it))
+                yield rank.compute(app.sample_service(rng))
+                yield rank.send(0, app.response_bytes, tag=("rsp", it))
+            for it in range(n_requests):
+                record(it, 0.0)  # server iterations cost nothing observed
+        else:
+            # Extra ranks idle (Fig. 8 runs one client/server pair per job).
+            for it in range(n_requests):
+                record(it, 0.0)
+            return
+            yield  # pragma: no cover
+
+    main.name = f"tailbench-{app.name}"
+    main.iterations = n_requests
+    return main

@@ -1,0 +1,61 @@
+"""Tests for victim/aggressor allocation policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.allocation import ALLOCATION_POLICIES, split_nodes
+
+
+def test_linear_is_contiguous():
+    v, a = split_nodes(range(10), 4, "linear")
+    assert v == [0, 1, 2, 3]
+    assert a == [4, 5, 6, 7, 8, 9]
+
+
+def test_interleaved_alternates_for_even_split():
+    v, a = split_nodes(range(8), 4, "interleaved")
+    assert sorted(v + a) == list(range(8))
+    # strict alternation for a 50/50 split
+    assert v == [0, 2, 4, 6] or v == [1, 3, 5, 7]
+
+
+def test_interleaved_proportional_for_skewed_split():
+    v, a = split_nodes(range(12), 3, "interleaved")
+    assert len(v) == 3 and len(a) == 9
+    # victim nodes spread out, not clumped at one end
+    assert max(v) - min(v) >= 6
+
+
+def test_random_is_seeded_and_complete():
+    v1, a1 = split_nodes(range(20), 7, "random", seed=5)
+    v2, a2 = split_nodes(range(20), 7, "random", seed=5)
+    v3, _ = split_nodes(range(20), 7, "random", seed=6)
+    assert v1 == v2 and a1 == a2
+    assert v1 != v3  # overwhelmingly likely
+    assert sorted(v1 + a1) == list(range(20))
+
+
+def test_bad_inputs_rejected():
+    with pytest.raises(ValueError):
+        split_nodes(range(10), 0, "linear")
+    with pytest.raises(ValueError):
+        split_nodes(range(10), 10, "linear")
+    with pytest.raises(ValueError):
+        split_nodes(range(10), 5, "zigzag")
+
+
+@settings(max_examples=50)
+@given(
+    n=st.integers(2, 200),
+    frac=st.floats(0.01, 0.99),
+    policy=st.sampled_from(ALLOCATION_POLICIES),
+    seed=st.integers(0, 100),
+)
+def test_split_partitions_exactly(n, frac, policy, seed):
+    nv = max(1, min(n - 1, round(n * frac)))
+    v, a = split_nodes(range(n), nv, policy, seed=seed)
+    assert len(v) == nv
+    assert len(a) == n - nv
+    assert sorted(v + a) == list(range(n))
+    assert set(v).isdisjoint(a)

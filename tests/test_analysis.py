@@ -1,0 +1,127 @@
+"""Tests for the analysis package (stats and reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RepetitionController,
+    ci_converged,
+    format_bandwidth,
+    format_time_ns,
+    median_ci,
+    quartile_whiskers,
+    render_heatmap,
+    render_series,
+    render_table,
+    summarize,
+)
+
+
+# ------------------------------------------------------------------ stats
+
+
+def test_median_ci_brackets_median():
+    rng = np.random.default_rng(0)
+    samples = rng.normal(100, 10, size=500)
+    lo, hi = median_ci(samples)
+    med = np.median(samples)
+    assert lo <= med <= hi
+    assert hi - lo < 5.0  # tight for n=500
+
+
+def test_median_ci_small_sample_degenerates_to_range():
+    lo, hi = median_ci([5.0, 7.0])
+    assert lo == 5.0 and hi == 7.0
+
+
+def test_ci_converged_for_tight_data():
+    assert ci_converged([10.0] * 50)
+
+
+def test_ci_not_converged_for_wild_data():
+    rng = np.random.default_rng(1)
+    samples = list(rng.lognormal(0, 2, size=12))
+    assert not ci_converged(samples)
+
+
+def test_ci_converged_requires_min_reps():
+    assert not ci_converged([1.0] * 5, min_reps=10)
+
+
+def test_repetition_controller_stops_on_convergence():
+    ctrl = RepetitionController(min_reps=5, max_reps=100)
+    calls = []
+
+    def sample():
+        calls.append(1)
+        return 42.0
+
+    samples = ctrl.run(sample)
+    assert len(samples) == 5  # converged immediately at min_reps
+
+
+def test_repetition_controller_caps_at_max():
+    rng = np.random.default_rng(2)
+    ctrl = RepetitionController(min_reps=5, max_reps=20, tolerance=1e-9)
+    samples = ctrl.run(lambda: float(rng.lognormal(0, 3)))
+    assert len(samples) == 20
+
+
+def test_repetition_controller_validation():
+    with pytest.raises(ValueError):
+        RepetitionController(min_reps=2)
+    with pytest.raises(ValueError):
+        RepetitionController(min_reps=10, max_reps=5)
+
+
+def test_summarize_keys_and_ordering():
+    s = summarize(list(range(1, 101)))
+    assert s["n"] == 100
+    assert s["min"] <= s["q1"] <= s["median"] <= s["q3"] <= s["max"]
+    assert s["p95"] <= s["p99"] <= s["max"]
+
+
+def test_quartile_whiskers_match_paper_definition():
+    data = list(range(100)) + [1000.0]  # one outlier
+    w = quartile_whiskers(data)
+    assert w["S"] >= min(data)
+    assert w["L"] < 1000.0  # outlier excluded from the whisker
+    assert w["q1"] <= w["median"] <= w["q3"]
+
+
+# -------------------------------------------------------------- reporting
+
+
+def test_format_time_units():
+    assert format_time_ns(500) == "500ns"
+    assert format_time_ns(1500) == "1.50us"
+    assert format_time_ns(2.5e6) == "2.50ms"
+    assert format_time_ns(3e9) == "3.00s"
+
+
+def test_format_bandwidth_shows_both_units():
+    out = format_bandwidth(25.0)
+    assert "25.00GB/s" in out and "200Gb/s" in out
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "val"], [["a", 1], ["bb", 22]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "val" in lines[1]
+    assert len(lines) == 5
+
+
+def test_render_heatmap_shape_checks():
+    out = render_heatmap(["r1"], ["c1", "c2"], [[1.0, 2.0]])
+    assert "1.00" in out and "2.00" in out
+    with pytest.raises(ValueError):
+        render_heatmap(["r1", "r2"], ["c1"], [[1.0]])
+    with pytest.raises(ValueError):
+        render_heatmap(["r1"], ["c1", "c2"], [[1.0]])
+
+
+def test_render_series_columns():
+    out = render_series("size", [8, 64], {"lat": [1.5, 2.5], "bw": [0.1, 0.9]})
+    assert "size" in out and "lat" in out and "bw" in out
+    assert "1.500" in out and "0.900" in out

@@ -1,0 +1,115 @@
+"""Tests for the extended collective set and collective properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MpiWorld
+from repro.network.units import KiB
+from repro.systems import malbec_mini
+
+
+def run_collective(n, op_name, *op_args, **world_kwargs):
+    fabric = malbec_mini().build()
+    world = MpiWorld(fabric, nodes=list(range(n)), **world_kwargs)
+    done = []
+
+    def main(rank):
+        yield from getattr(rank, op_name)(*op_args)
+        done.append(rank.rank)
+
+    procs = world.spawn(main)
+    fabric.sim.run()
+    for p in procs:
+        if p.exception is not None:
+            raise p.exception
+        assert not p.alive, f"rank deadlocked in {op_name}"
+    fabric.assert_quiescent()
+    return fabric, done
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 12])
+@pytest.mark.parametrize("op", ["scatter", "gather"])
+def test_scatter_gather_complete(n, op):
+    _, done = run_collective(n, op, 1024)
+    assert sorted(done) == list(range(n))
+
+
+@pytest.mark.parametrize("root", [0, 1, 3])
+def test_scatter_nonzero_root(root):
+    _, done = run_collective(6, "scatter", 512, root)
+    assert len(done) == 6
+
+
+@pytest.mark.parametrize("n", [2, 4, 6, 7, 8])
+def test_reduce_scatter_completes(n):
+    _, done = run_collective(n, "reduce_scatter", 64 * KiB)
+    assert len(done) == n
+
+
+@pytest.mark.parametrize("n", [2, 3, 8, 11])
+def test_ring_allreduce_completes(n):
+    _, done = run_collective(n, "ring_allreduce", 64 * KiB)
+    assert len(done) == n
+
+
+def test_scatter_traffic_halves_down_the_tree():
+    """The root must send ~the full buffer, leaves receive one block."""
+    n = 8
+    per_rank = 4 * KiB
+    fabric, _ = run_collective(n, "scatter", per_rank)
+    root_sent = fabric.nics[0].bytes_injected
+    # root forwards blocks of 4+2+1 ranks = 7 blocks (plus headers)
+    assert root_sent >= 7 * per_rank
+
+
+def test_ring_allreduce_bandwidth_optimal_traffic():
+    """Each rank moves 2(n-1)/n * nbytes — much less than recursive
+    doubling's log2(n) * nbytes for large messages."""
+    n, nbytes = 8, 256 * KiB
+    fabric_ring, _ = run_collective(n, "ring_allreduce", nbytes)
+    ring_bytes = max(nic.bytes_injected for nic in fabric_ring.nics[:n])
+    expected = 2 * (n - 1) / n * nbytes
+    assert ring_bytes == pytest.approx(expected, rel=0.1)
+
+
+def test_gather_root_receives_everything():
+    n = 8
+    fabric, _ = run_collective(n, "gather", 2 * KiB)
+    root_recv = fabric.nics[0].bytes_delivered
+    assert root_recv >= (n - 1) * 2 * KiB
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(1, 10),
+    nbytes=st.sampled_from([1, 100, 4096, 20_000]),
+    op=st.sampled_from(
+        ["allreduce", "alltoall", "bcast", "allgather", "reduce",
+         "scatter", "gather", "reduce_scatter", "ring_allreduce"]
+    ),
+)
+def test_any_collective_completes_for_any_world(n, nbytes, op):
+    """Property: every collective terminates, delivers every packet, and
+    leaves the fabric quiescent, for arbitrary rank counts and sizes."""
+    _, done = run_collective(n, op, nbytes)
+    assert len(done) == n
+
+
+def test_mixed_collective_sequences_do_not_cross_match():
+    fabric = malbec_mini().build()
+    world = MpiWorld(fabric, nodes=list(range(6)))
+    done = []
+
+    def main(rank):
+        yield from rank.scatter(256)
+        yield from rank.ring_allreduce(8 * KiB)
+        yield from rank.gather(256)
+        yield from rank.reduce_scatter(4 * KiB)
+        yield from rank.barrier()
+        done.append(rank.rank)
+
+    world.spawn(main)
+    fabric.sim.run()
+    assert len(done) == 6
+    fabric.assert_quiescent()

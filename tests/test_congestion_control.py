@@ -1,0 +1,151 @@
+"""Unit tests for the congestion-control strategies (repro.core)."""
+
+import pytest
+
+from repro.core.congestion_control import EcnCC, NoCC, PairState, SlingshotCC, make_cc
+
+
+def make_state(cc):
+    return PairState(window=cc.initial_window())
+
+
+class TestSlingshotCC:
+    def test_initial_window(self):
+        cc = SlingshotCC(initial=16)
+        assert cc.initial_window() == 16
+
+    def test_marked_ack_halves_window(self):
+        cc = SlingshotCC(initial=16, decrease_factor=0.5)
+        st = make_state(cc)
+        cc.on_ack(st, marked=True, now=0.0)
+        assert st.window == 8.0
+
+    def test_window_floor(self):
+        cc = SlingshotCC(initial=2, min_window=0.25)
+        st = make_state(cc)
+        for _ in range(20):
+            cc.on_ack(st, marked=True, now=0.0)
+        assert st.window == 0.25
+
+    def test_fractional_window_recovers_multiplicatively(self):
+        cc = SlingshotCC(initial=2, min_window=0.25)
+        st = make_state(cc)
+        for _ in range(20):
+            cc.on_ack(st, marked=True, now=0.0)
+        cc.on_ack(st, marked=False, now=0.0)
+        assert st.window == pytest.approx(0.25 * 1.25)
+
+    def test_clean_acks_recover_additively(self):
+        cc = SlingshotCC(initial=16)
+        st = make_state(cc)
+        cc.on_ack(st, marked=True, now=0.0)  # -> 8
+        w = st.window
+        for _ in range(100):
+            cc.on_ack(st, marked=False, now=0.0)
+        assert st.window > w
+        assert st.window <= cc.max_window
+
+    def test_window_ceiling(self):
+        cc = SlingshotCC(initial=60, max_window=64)
+        st = make_state(cc)
+        for _ in range(10_000):
+            cc.on_ack(st, marked=False, now=0.0)
+        assert st.window == pytest.approx(64.0)
+
+    def test_reaction_is_per_ack_fast(self):
+        """One marked ack suffices — no waiting for a timer period."""
+        cc = SlingshotCC(initial=64)
+        st = make_state(cc)
+        cc.on_ack(st, marked=True, now=0.1)
+        assert st.window < 64
+
+    def test_recovery_slower_than_decrease(self):
+        """AIMD asymmetry: one mark cancels many clean acks."""
+        cc = SlingshotCC(initial=32)
+        st = make_state(cc)
+        cc.on_ack(st, marked=True, now=0.0)
+        dropped = 32 - st.window
+        cc.on_ack(st, marked=False, now=0.0)
+        gained = st.window - (32 - dropped)
+        assert gained < dropped / 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SlingshotCC(decrease_factor=1.5)
+        with pytest.raises(ValueError):
+            SlingshotCC(min_window=0.0)
+
+
+class TestNoCC:
+    def test_infinite_window_never_changes(self):
+        cc = NoCC()
+        st = make_state(cc)
+        assert st.window == float("inf")
+        cc.on_ack(st, marked=True, now=0.0)
+        cc.on_ack(st, marked=True, now=1e9)
+        assert st.window == float("inf")
+
+    def test_pairstate_can_send_unbounded(self):
+        cc = NoCC()
+        st = make_state(cc)
+        st.in_flight = 10**9
+        assert st.can_send
+
+
+class TestEcnCC:
+    def test_no_reaction_before_update_period(self):
+        """The slow loop: marks within one period change nothing."""
+        cc = EcnCC(initial=64, update_period_ns=50_000)
+        st = make_state(cc)
+        for t in range(100):
+            cc.on_ack(st, marked=True, now=float(t))
+        assert st.window == 64  # the burst went unpunished
+
+    def test_reacts_after_period(self):
+        cc = EcnCC(initial=64, update_period_ns=50_000)
+        st = make_state(cc)
+        for t in range(100):
+            cc.on_ack(st, marked=True, now=float(t))
+        cc.on_ack(st, marked=True, now=60_000.0)
+        assert st.window < 64
+
+    def test_recovers_when_clean(self):
+        cc = EcnCC(initial=64, update_period_ns=1_000, recovery_step=2.0)
+        st = make_state(cc)
+        # knock the window down
+        cc.on_ack(st, marked=True, now=0.0)
+        cc.on_ack(st, marked=True, now=2_000.0)
+        low = st.window
+        # clean period recovers
+        cc.on_ack(st, marked=False, now=4_000.0)
+        cc.on_ack(st, marked=False, now=6_000.0)
+        assert st.window > low
+
+    def test_slower_than_slingshot_on_burst(self):
+        """The paper's argument quantified: after a 50-ack marked burst,
+        Slingshot has throttled hard, ECN hasn't reacted at all."""
+        scc, ecc = SlingshotCC(initial=64), EcnCC(initial=64, update_period_ns=50_000)
+        s_state, e_state = make_state(scc), make_state(ecc)
+        for i in range(50):
+            t = float(i * 100)  # 5 us burst
+            scc.on_ack(s_state, True, t)
+            ecc.on_ack(e_state, True, t)
+        assert s_state.window == scc.min_window  # throttled to the floor
+        assert e_state.window == 64.0
+
+
+class TestPairState:
+    def test_can_send_respects_window(self):
+        st = PairState(window=2)
+        assert st.can_send
+        st.in_flight = 2
+        assert not st.can_send
+
+
+def test_make_cc_factory():
+    assert make_cc("slingshot").name == "slingshot"
+    assert make_cc("none").name == "none"
+    assert make_cc("ecn").name == "ecn"
+    assert make_cc("slingshot", initial=4.0).initial_window() == 4.0
+    with pytest.raises(ValueError):
+        make_cc("bogus")

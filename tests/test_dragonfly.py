@@ -1,0 +1,190 @@
+"""Tests for the dragonfly topology builder and the paper's design math."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.dragonfly import DragonflyParams, DragonflyTopology, largest_system
+from repro.network.units import gbps
+
+
+def test_basic_counts():
+    params = DragonflyParams(4, 8, 4, links_per_pair=2)
+    topo = DragonflyTopology(params)
+    assert topo.n_switches == 32
+    assert topo.n_nodes == 128
+    assert params.nodes_per_group == 32
+
+
+def test_node_and_switch_mapping():
+    topo = DragonflyTopology(DragonflyParams(4, 2, 3, links_per_pair=1))
+    assert topo.node_switch(0) == 0
+    assert topo.node_switch(7) == 1
+    assert topo.switch_group(0) == 0
+    assert topo.switch_group(5) == 2
+    assert topo.node_group(23) == 2
+    assert list(topo.nodes_on_switch(1)) == [4, 5, 6, 7]
+    assert list(topo.switches_in_group(2)) == [4, 5]
+
+
+def test_group_pair_links_symmetric():
+    topo = DragonflyTopology(DragonflyParams(2, 4, 4, links_per_pair=3))
+    fwd = topo.group_pair_links(1, 2)
+    rev = topo.group_pair_links(2, 1)
+    assert len(fwd) == 3
+    assert sorted((b, a) for a, b in fwd) == sorted(rev)
+    for si, sj in fwd:
+        assert topo.switch_group(si) == 1
+        assert topo.switch_group(sj) == 2
+
+
+def test_gateways_are_in_right_group():
+    topo = DragonflyTopology(DragonflyParams(2, 4, 5, links_per_pair=2))
+    for gi in range(5):
+        for gj in range(5):
+            if gi == gj:
+                continue
+            for gw in topo.gateways(gi, gj):
+                assert topo.switch_group(gw) == gi
+
+
+def test_global_ports_spread_evenly_across_switches():
+    params = DragonflyParams(2, 4, 5, links_per_pair=2)
+    topo = DragonflyTopology(params)
+    # Each group has 2*(5-1) = 8 global ports over 4 switches = 2 each.
+    counts = [topo.global_ports_used[s] for s in range(topo.n_switches)]
+    assert all(c == 2 for c in counts)
+
+
+def test_local_links_fully_connect_each_group():
+    params = DragonflyParams(1, 4, 3, links_per_pair=1)
+    topo = DragonflyTopology(params)
+    links = topo.all_local_links()
+    # Each group: C(4,2) = 6 links, 3 groups = 18.
+    assert len(links) == 18
+    for si, sj in links:
+        assert topo.switch_group(si) == topo.switch_group(sj)
+        assert si != sj
+
+
+def test_all_global_links_count():
+    params = DragonflyParams(1, 4, 6, links_per_pair=2)
+    topo = DragonflyTopology(params)
+    # C(6,2)=15 pairs x 2 links = 30.
+    assert len(topo.all_global_links()) == 30
+
+
+def test_local_neighbors():
+    topo = DragonflyTopology(DragonflyParams(2, 4, 2, links_per_pair=1))
+    assert topo.local_neighbors(5) == [4, 6, 7]
+
+
+def test_rejects_bad_params():
+    with pytest.raises(ValueError):
+        DragonflyParams(0, 4, 4)
+    with pytest.raises(ValueError):
+        DragonflyParams(4, 0, 4)
+    with pytest.raises(ValueError):
+        DragonflyParams(4, 4, 0)
+    with pytest.raises(ValueError):
+        DragonflyParams(4, 4, 4, links_per_pair=0)
+
+
+def test_radix_validation():
+    # 16 hosts + 31 local + 17 global = 64: fits exactly.
+    ok = DragonflyParams(16, 32, 545, links_per_pair=1)
+    ok.validate_radix(64)
+    # One more host port would not fit.
+    too_big = DragonflyParams(17, 32, 545, links_per_pair=1)
+    with pytest.raises(ValueError):
+        too_big.validate_radix(64)
+
+
+# -- paper numbers --------------------------------------------------------------
+
+
+def test_largest_system_matches_paper_figure3():
+    ls = largest_system()
+    assert ls.switches_per_group == 32
+    assert ls.global_ports_per_switch == 17
+    assert ls.global_links_per_group == 544
+    assert ls.n_groups == 545
+    assert ls.nodes_per_group == 512
+    assert ls.n_endpoints == 279_040
+    assert ls.addressing_group_limit == 511
+    assert ls.addressable_endpoints == 261_632
+
+
+def test_shandy_bisection_matches_paper_figure6():
+    # Shandy: 8 groups, 8 links/pair, 200 Gb/s links.
+    params = DragonflyParams(8, 16, 8, links_per_pair=8)
+    topo = DragonflyTopology(params)
+    # 4*4*8 = 128 links cross the cut; x2 directions x 25 B/ns = 6400 B/ns
+    # = 6.4 TB/s (paper: "128 * 200Gb/s * 2 = 6.4Tb/s" in bytes terms).
+    assert topo.bisection_links() == 128
+    assert topo.bisection_bandwidth_bytes_ns(gbps(200)) == pytest.approx(6400.0)
+
+
+def test_shandy_alltoall_matches_paper_figure6():
+    params = DragonflyParams(8, 16, 8, links_per_pair=8)
+    topo = DragonflyTopology(params)
+    # Paper: 8/7 * 448 * 200Gb/s = 12.8 TB/s equivalent.
+    assert topo.alltoall_bandwidth_bytes_ns(gbps(200)) == pytest.approx(12800.0)
+
+
+def test_balanced_construction_from_global_ports():
+    params = DragonflyParams.from_global_ports(16, 32, 17)
+    assert params.n_groups == 545
+    assert params.links_per_pair == 1
+    assert params.n_nodes == 279_040
+
+
+# -- property tests ---------------------------------------------------------------
+
+
+@settings(max_examples=40)
+@given(
+    p=st.integers(1, 6),
+    a=st.integers(1, 8),
+    g=st.integers(2, 8),
+    lpp=st.integers(1, 4),
+)
+def test_every_group_pair_fully_connected(p, a, g, lpp):
+    topo = DragonflyTopology(DragonflyParams(p, a, g, links_per_pair=lpp))
+    for gi in range(g):
+        for gj in range(g):
+            if gi == gj:
+                continue
+            links = topo.group_pair_links(gi, gj)
+            assert len(links) == lpp
+            assert topo.gateways(gi, gj)  # at least one gateway
+
+
+@settings(max_examples=40)
+@given(
+    p=st.integers(1, 6),
+    a=st.integers(1, 8),
+    g=st.integers(2, 8),
+    lpp=st.integers(1, 4),
+)
+def test_global_port_conservation(p, a, g, lpp):
+    """Sum of per-switch global ports equals 2x the number of links."""
+    topo = DragonflyTopology(DragonflyParams(p, a, g, links_per_pair=lpp))
+    assert sum(topo.global_ports_used.values()) == 2 * len(topo.all_global_links())
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(2, 8), g=st.integers(2, 6))
+def test_diameter_is_three_switch_hops(a, g):
+    """Minimal path between any two switches needs at most 3 hops:
+    local to a gateway, global, local to the destination switch."""
+    topo = DragonflyTopology(DragonflyParams(1, a, g, links_per_pair=1))
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(topo.n_switches))
+    graph.add_edges_from(topo.all_local_links())
+    graph.add_edges_from(topo.all_global_links())
+    lengths = dict(nx.all_pairs_shortest_path_length(graph))
+    diameter = max(max(d.values()) for d in lengths.values())
+    assert diameter <= 3

@@ -1,0 +1,47 @@
+"""The fast examples must stay runnable (they are part of the API docs)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", ["quickstart", "topology_explorer"])
+def test_fast_examples_run_cleanly(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"
+
+
+def test_quickstart_output_mentions_allreduce(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "MPI_Allreduce" in out
+    assert "packets delivered" in out
+
+
+def test_topology_explorer_matches_paper_numbers(capsys):
+    load_example("topology_explorer").main()
+    out = capsys.readouterr().out
+    assert "279,040" in out
+    assert "261,632" in out
+    assert "12.8 TB/s" in out
+
+
+@pytest.mark.slow
+def test_routing_demo_runs(capsys):
+    load_example("adaptive_routing_demo").main()
+    out = capsys.readouterr().out
+    assert "adaptive" in out

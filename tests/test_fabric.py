@@ -1,0 +1,177 @@
+"""Integration tests for the packet-level fabric."""
+
+import pytest
+
+from repro.network import Fabric, FabricConfig, KiB, MiB, gbps
+from repro.network.dragonfly import DragonflyParams
+from repro.systems import crystal_mini, malbec_mini, shandy_mini
+
+
+@pytest.fixture
+def small_fabric():
+    return malbec_mini().build()
+
+
+def drain(fabric):
+    fabric.sim.run()
+    fabric.assert_quiescent()
+
+
+def test_single_message_delivered(small_fabric):
+    msg = small_fabric.send(0, 5, 4096)
+    drain(small_fabric)
+    assert msg.complete
+    assert msg.complete_time > 0
+
+
+def test_loopback_message(small_fabric):
+    msg = small_fabric.send(7, 7, 1024)
+    drain(small_fabric)
+    assert msg.complete
+    assert small_fabric.packets_injected() == 0  # never touched the wire
+
+
+def test_bad_endpoints_rejected(small_fabric):
+    with pytest.raises(ValueError):
+        small_fabric.send(0, 10_000, 64)
+    with pytest.raises(ValueError):
+        small_fabric.send(-1, 0, 64)
+    with pytest.raises(ValueError):
+        small_fabric.send(0, 1, 64, tc=5)
+
+
+def test_all_pairs_reachable_same_group():
+    fabric = malbec_mini().build()
+    group0 = list(fabric.topology.nodes_in_group(0))
+    msgs = [fabric.send(group0[0], d, 256) for d in group0[1:]]
+    drain(fabric)
+    assert all(m.complete for m in msgs)
+
+
+def test_all_distances_reachable(small_fabric):
+    topo = small_fabric.topology
+    # same switch, same group different switch, different group
+    targets = [1, 4, 20]
+    assert [small_fabric.node_distance(0, t) for t in targets] == [1, 2, 3]
+    msgs = [small_fabric.send(0, t, 4096) for t in targets]
+    drain(small_fabric)
+    assert all(m.complete for m in msgs)
+
+
+def test_latency_increases_with_distance(small_fabric):
+    """Paper Fig. 4: farther node pairs see higher (but same order) latency."""
+    times = []
+    for t in (1, 4, 20):
+        fabric = malbec_mini().build()
+        msg = fabric.send(0, t, 8)
+        fabric.sim.run()
+        times.append(msg.complete_time - msg.submit_time)
+    assert times[0] < times[1] < times[2]
+    # Bare-fabric latency (no software stack) spreads more than the
+    # paper's end-to-end 40% because the ~2 us software overhead is
+    # absent here; the Fig. 4 bench adds it back.  Sanity-bound only.
+    assert times[2] < times[0] * 6
+
+
+def test_packet_conservation_random_traffic():
+    fabric = shandy_mini().build()
+    rng = __import__("random").Random(7)
+    n = fabric.topology.n_nodes
+    msgs = []
+    for _ in range(200):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            msgs.append(fabric.send(a, b, rng.choice([8, 1024, 9000, 64 * KiB])))
+    drain(fabric)
+    assert all(m.complete for m in msgs)
+    assert fabric.packets_injected() == fabric.packets_delivered()
+
+
+def test_bandwidth_approaches_nic_line_rate():
+    """A single large transfer should achieve most of the 100 Gb/s NIC rate."""
+    fabric = malbec_mini().build()
+    msg = fabric.send(0, 20, 4 * MiB)
+    drain(fabric)
+    elapsed = msg.complete_time - msg.submit_time
+    achieved = 4 * MiB / elapsed  # bytes/ns
+    assert achieved > 0.85 * gbps(100)
+    assert achieved <= gbps(100) * 1.01
+
+
+def test_determinism_same_seed_same_completion_times():
+    def run():
+        fabric = shandy_mini().build()
+        rng = __import__("random").Random(3)
+        n = fabric.topology.n_nodes
+        msgs = [
+            fabric.send(rng.randrange(n), (rng.randrange(n - 1) + 1), 8 * KiB)
+            for _ in range(50)
+        ]
+        fabric.sim.run()
+        return [m.complete_time for m in msgs]
+
+    assert run() == run()
+
+
+def test_hop_count_bounded_by_diameter():
+    """No packet should traverse more than 6 switches (l-g-l-g-l + dst)."""
+    fabric = shandy_mini().build()
+    rng = __import__("random").Random(11)
+    n = fabric.topology.n_nodes
+    pkts = []
+    for _ in range(100):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            fabric.send(a, b, 4096)
+    fabric.sim.run()
+    # hops recorded per message via NIC counters; check switch forward totals
+    total_forwards = sum(sw.pkts_forwarded for sw in fabric.switches)
+    delivered = fabric.packets_delivered()
+    assert delivered > 0
+    assert total_forwards <= 6 * delivered
+
+
+def test_aries_config_has_no_endpoint_cc():
+    fabric = crystal_mini().build()
+    assert fabric.cc.name == "none"
+    assert fabric.nics[0].window(5) == float("inf")
+
+
+def test_slingshot_config_has_pair_windows():
+    fabric = malbec_mini().build()
+    assert fabric.cc.name == "slingshot"
+    assert fabric.nics[0].window(5) == 16.0
+
+
+def test_incast_slower_than_single_flow():
+    """Many-to-one cannot beat the receiver drain rate."""
+    fabric = malbec_mini().build()
+    senders = [s for s in range(8, 24)]
+    msgs = [fabric.send(s, 0, 64 * KiB) for s in senders]
+    drain(fabric)
+    elapsed = max(m.complete_time for m in msgs)
+    total = 64 * KiB * len(senders)
+    achieved = total / elapsed
+    # Receiver host link is 200 Gb/s = 25 B/ns; goodput can't exceed it.
+    assert achieved <= 25.0
+
+
+def test_transfer_event_interface():
+    fabric = malbec_mini().build()
+    done = []
+
+    def proc():
+        msg = yield fabric.transfer(0, 9, 2048)
+        done.append((fabric.sim.now, msg.nbytes))
+
+    fabric.sim.process(proc())
+    drain(fabric)
+    assert done and done[0][1] == 2048
+
+
+def test_mini_systems_shapes():
+    assert malbec_mini().params.n_groups == 4
+    assert shandy_mini().params.n_groups == 8
+    assert crystal_mini().params.n_groups == 2
+    for cfg in (malbec_mini(), shandy_mini(), crystal_mini()):
+        assert cfg.build().topology.n_nodes >= 64

@@ -1,0 +1,37 @@
+"""Property: packet conservation survives link errors and any topology."""
+
+import dataclasses
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.dragonfly import DragonflyParams
+from repro.systems import slingshot_config
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    p=st.integers(1, 3),
+    a=st.integers(1, 3),
+    g=st.integers(1, 3),
+    error=st.sampled_from([0.0, 0.02, 0.1]),
+    seed=st.integers(0, 50),
+)
+def test_conservation_under_link_errors(p, a, g, error, seed):
+    cfg = slingshot_config(DragonflyParams(p, a, g, links_per_pair=1), seed=seed)
+    cfg = cfg.with_(
+        host_link=dataclasses.replace(cfg.host_link, frame_error_rate=error),
+        local_link=dataclasses.replace(cfg.local_link, frame_error_rate=error),
+        global_link=dataclasses.replace(cfg.global_link, frame_error_rate=error),
+    )
+    fabric = cfg.build()
+    n = fabric.topology.n_nodes
+    rng = random.Random(seed)
+    msgs = [
+        fabric.send(rng.randrange(n), rng.randrange(n), rng.choice([8, 5000]))
+        for _ in range(8)
+    ]
+    fabric.sim.run()
+    assert all(m.complete for m in msgs)
+    fabric.assert_quiescent()

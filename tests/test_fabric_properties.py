@@ -1,0 +1,91 @@
+"""Property-based whole-fabric invariants (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.dragonfly import DragonflyParams
+from repro.systems import aries_config, slingshot_config
+
+
+def small_params():
+    return st.builds(
+        DragonflyParams,
+        hosts_per_switch=st.integers(1, 3),
+        switches_per_group=st.integers(1, 3),
+        n_groups=st.integers(1, 4),
+        links_per_pair=st.integers(1, 2),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=small_params(), seed=st.integers(0, 10), data=st.data())
+def test_every_message_is_delivered_exactly_once(params, seed, data):
+    """Packet conservation holds for arbitrary topologies and traffic."""
+    fabric = slingshot_config(params, seed=seed).build()
+    n = fabric.topology.n_nodes
+    n_msgs = data.draw(st.integers(1, 15))
+    msgs = []
+    rng = random.Random(seed)
+    for _ in range(n_msgs):
+        a, b = rng.randrange(n), rng.randrange(n)
+        size = rng.choice([0, 8, 4096, 10_000])
+        msgs.append(fabric.send(a, b, size))
+    fabric.sim.run()
+    assert all(m.complete for m in msgs)
+    assert all(m.delivered_packets == m.npackets for m in msgs)
+    fabric.assert_quiescent()
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=small_params(), seed=st.integers(0, 5))
+def test_aries_fabric_also_conserves_packets(params, seed):
+    fabric = aries_config(params, seed=seed).build()
+    n = fabric.topology.n_nodes
+    rng = random.Random(seed)
+    msgs = [
+        fabric.send(rng.randrange(n), rng.randrange(n), 4096) for _ in range(10)
+    ]
+    fabric.sim.run()
+    assert all(m.complete for m in msgs)
+    fabric.assert_quiescent()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_completion_time_nondecreasing_in_size(seed):
+    """Bigger messages between the same pair never finish faster."""
+    from repro.systems import malbec_mini
+
+    rng = random.Random(seed)
+    a = rng.randrange(0, 40)
+    b = rng.randrange(40, 80)
+    times = []
+    for size in (8, 4096, 64 * 1024):
+        fabric = malbec_mini().build()
+        msg = fabric.send(a, b, size)
+        fabric.sim.run()
+        times.append(msg.complete_time)
+    assert times == sorted(times)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_latency_bounded_below_by_physics(seed):
+    """No message can beat wire serialization + propagation + pipelines."""
+    from repro.systems import malbec_mini
+
+    cfg = malbec_mini()
+    fabric = cfg.build()
+    rng = random.Random(seed)
+    a = rng.randrange(0, fabric.topology.n_nodes)
+    b = (a + 1 + rng.randrange(fabric.topology.n_nodes - 1)) % fabric.topology.n_nodes
+    if a == b:
+        return
+    size = 4096 + 62
+    msg = fabric.send(a, b, 4096)
+    fabric.sim.run()
+    # minimum: one serialization at NIC rate + one switch + two wires
+    floor = size / cfg.nic_bandwidth + cfg.switch_latency + 2 * cfg.host_link.prop_delay
+    assert msg.complete_time >= floor * 0.99

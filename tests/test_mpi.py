@@ -1,0 +1,333 @@
+"""Tests for the MPI layer: matching, p2p, collectives, software stack."""
+
+import pytest
+
+from repro.mpi import MpiWorld, half_rtt, layer
+from repro.mpi.collectives import BRUCK_THRESHOLD
+from repro.network import KiB, MiB
+from repro.systems import malbec_mini, shandy_mini
+
+
+def make_world(n_ranks=8, stack="mpi", system=malbec_mini, **world_kwargs):
+    fabric = system().build()
+    world = MpiWorld(fabric, nodes=list(range(n_ranks)), stack=stack, **world_kwargs)
+    return fabric, world
+
+
+def run_all(fabric, procs):
+    fabric.sim.run()
+    for p in procs:
+        assert not p.alive, "rank process deadlocked"
+        if p.exception is not None:
+            raise p.exception
+    return procs
+
+
+# ------------------------------------------------------------------- p2p
+
+
+def test_send_recv_matches_by_tag():
+    fabric, world = make_world(2)
+    got = []
+
+    def main(rank):
+        if rank.rank == 0:
+            yield rank.send(1, 100, tag="a")
+            yield rank.send(1, 200, tag="b")
+        else:
+            m_b = yield rank.recv(0, tag="b")
+            m_a = yield rank.recv(0, tag="a")
+            got.append((m_a.nbytes, m_b.nbytes))
+
+    run_all(fabric, world.spawn(main))
+    assert got == [(100, 200)]
+
+
+def test_same_tag_messages_match_in_order():
+    fabric, world = make_world(2)
+    got = []
+
+    def main(rank):
+        if rank.rank == 0:
+            for size in (10, 20, 30):
+                yield rank.send(1, size, tag=0)
+        else:
+            for _ in range(3):
+                m = yield rank.recv(0, tag=0)
+                got.append(m.nbytes)
+
+    run_all(fabric, world.spawn(main))
+    assert got == [10, 20, 30]
+
+
+def test_recv_posted_before_send_arrives():
+    fabric, world = make_world(2)
+    got = []
+
+    def main(rank):
+        if rank.rank == 0:
+            yield 50_000.0  # send late
+            yield rank.send(1, 64, tag=9)
+        else:
+            m = yield rank.recv(0, tag=9)
+            got.append(fabric.sim.now)
+
+    run_all(fabric, world.spawn(main))
+    assert got and got[0] >= 50_000.0
+
+
+def test_put_completes_without_matching():
+    fabric, world = make_world(2)
+    done = []
+
+    def main(rank):
+        if rank.rank == 0:
+            yield rank.put(1, 4 * KiB)
+            done.append(fabric.sim.now)
+        else:
+            return
+            yield  # pragma: no cover
+
+    run_all(fabric, world.spawn(main))
+    assert done
+
+
+def test_sendrecv_pairs():
+    fabric, world = make_world(4)
+    got = []
+
+    def main(rank):
+        right = (rank.rank + 1) % rank.size
+        left = (rank.rank - 1) % rank.size
+        m = yield from rank.sendrecv(right, left, 128, tag=3)
+        got.append((rank.rank, m.nbytes))
+
+    run_all(fabric, world.spawn(main))
+    assert sorted(got) == [(i, 128) for i in range(4)]
+
+
+def test_software_overhead_charged():
+    """The MPI layer must be slower than raw verbs for the same transfer."""
+    times = {}
+    for stack in ("ib_verbs", "mpi"):
+        fabric, world = make_world(2, stack=stack)
+
+        def main(rank):
+            if rank.rank == 0:
+                yield rank.send(1, 8, tag=0)
+            else:
+                yield rank.recv(0, tag=0)
+
+        run_all(fabric, world.spawn(main))
+        times[stack] = fabric.sim.now
+    assert times["mpi"] > times["ib_verbs"]
+
+
+def test_world_validation():
+    fabric = malbec_mini().build()
+    with pytest.raises(ValueError):
+        MpiWorld(fabric, nodes=[])
+    with pytest.raises(ValueError):
+        MpiWorld(fabric, nodes=[99999])
+    with pytest.raises(ValueError):
+        MpiWorld(fabric, nodes=[0], stack="nonexistent")
+
+
+def test_ppn_multiple_ranks_per_node():
+    fabric = malbec_mini().build()
+    world = MpiWorld(fabric, nodes=[0, 0, 1, 1])  # PPN=2
+    done = []
+
+    def main(rank):
+        yield from rank.barrier()
+        done.append(rank.rank)
+
+    run_all(fabric, world.spawn(main))
+    assert sorted(done) == [0, 1, 2, 3]
+
+
+# ------------------------------------------------------------- collectives
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13])
+def test_barrier_all_ranks_finish_together(n):
+    fabric, world = make_world(n)
+    finish = []
+
+    def main(rank):
+        if rank.rank == 0:
+            yield rank.compute(10_000.0)  # straggler
+        yield from rank.barrier()
+        finish.append(fabric.sim.now)
+
+    run_all(fabric, world.spawn(main))
+    assert len(finish) == n
+    if n > 1:
+        assert max(finish) >= 10_000.0
+        # nobody may exit the barrier before the straggler entered it
+        assert min(finish) >= 10_000.0
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+@pytest.mark.parametrize("nbytes", [8, 64 * KiB])
+def test_allreduce_completes_pow2(n, nbytes):
+    fabric, world = make_world(n)
+    done = []
+
+    def main(rank):
+        yield from rank.allreduce(nbytes)
+        done.append(rank.rank)
+
+    run_all(fabric, world.spawn(main))
+    assert len(done) == n
+
+
+@pytest.mark.parametrize("n", [3, 5, 6, 7])
+def test_allreduce_completes_non_pow2(n):
+    fabric, world = make_world(n)
+    done = []
+
+    def main(rank):
+        yield from rank.allreduce(1024)
+        done.append(rank.rank)
+
+    run_all(fabric, world.spawn(main))
+    assert len(done) == n
+
+
+@pytest.mark.parametrize("n", [2, 4, 7, 8])
+@pytest.mark.parametrize("nbytes", [8, BRUCK_THRESHOLD, BRUCK_THRESHOLD + 1, 4 * KiB])
+def test_alltoall_completes(n, nbytes):
+    fabric, world = make_world(n)
+    done = []
+
+    def main(rank):
+        yield from rank.alltoall(nbytes)
+        done.append(rank.rank)
+
+    run_all(fabric, world.spawn(main))
+    assert len(done) == n
+
+
+def test_alltoall_algorithm_switch_changes_traffic():
+    """Bruck aggregates: fewer, bigger messages than pairwise."""
+    traffic = {}
+    for nbytes in (BRUCK_THRESHOLD, BRUCK_THRESHOLD + 1):
+        fabric, world = make_world(8)
+
+        def main(rank, nb=nbytes):
+            yield from rank.alltoall(nb)
+
+        run_all(fabric, world.spawn(main))
+        traffic[nbytes] = fabric.messages_sent
+    # Bruck: 8 ranks * log2(8)=3 rounds = 24 messages; pairwise: 8*7 = 56.
+    assert traffic[BRUCK_THRESHOLD] == 24
+    assert traffic[BRUCK_THRESHOLD + 1] == 56
+
+
+@pytest.mark.parametrize("n", [2, 3, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast_completes(n, root):
+    if root >= n:
+        pytest.skip("root outside world")
+    fabric, world = make_world(n)
+    done = []
+
+    def main(rank):
+        yield from rank.bcast(2 * KiB, root=root)
+        done.append(rank.rank)
+
+    run_all(fabric, world.spawn(main))
+    assert len(done) == n
+
+
+@pytest.mark.parametrize("n", [2, 5, 8])
+def test_allgather_completes(n):
+    fabric, world = make_world(n)
+    done = []
+
+    def main(rank):
+        yield from rank.allgather(512)
+        done.append(rank.rank)
+
+    run_all(fabric, world.spawn(main))
+    assert len(done) == n
+
+
+@pytest.mark.parametrize("n", [2, 3, 8])
+def test_reduce_completes(n):
+    fabric, world = make_world(n)
+    done = []
+
+    def main(rank):
+        yield from rank.reduce(1024, root=0)
+        done.append(rank.rank)
+
+    run_all(fabric, world.spawn(main))
+    assert len(done) == n
+
+
+def test_back_to_back_collectives_do_not_cross_match():
+    fabric, world = make_world(4)
+    done = []
+
+    def main(rank):
+        for _ in range(5):
+            yield from rank.allreduce(8)
+            yield from rank.barrier()
+            yield from rank.alltoall(8)
+        done.append(rank.rank)
+
+    run_all(fabric, world.spawn(main))
+    assert len(done) == 4
+    fabric.assert_quiescent()
+
+
+def test_collectives_scale_latency_with_size():
+    """128 KiB allreduce must take longer than 8 B allreduce."""
+    times = {}
+    for nbytes in (8, 128 * KiB):
+        fabric, world = make_world(8)
+
+        def main(rank, nb=nbytes):
+            yield from rank.allreduce(nb)
+
+        run_all(fabric, world.spawn(main))
+        times[nbytes] = fabric.sim.now
+    assert times[128 * KiB] > times[8] * 2
+
+
+# ------------------------------------------------------------ software stack
+
+
+def test_layer_lookup():
+    assert layer("mpi").name == "mpi"
+    with pytest.raises(ValueError):
+        layer("smoke-signals")
+
+
+def test_half_rtt_ordering_matches_figure5():
+    """verbs < libfabric < MPI << UDP < TCP at small sizes."""
+    vals = [half_rtt(8, l) for l in ("ib_verbs", "libfabric", "mpi", "udp", "tcp")]
+    assert vals == sorted(vals)
+    assert vals[3] > 4 * vals[2]  # sockets are an order of magnitude off
+
+
+def test_half_rtt_small_mpi_in_paper_band():
+    """Fig. 5 inset: 8 B MPI latency sits around 1.3-2.3 us."""
+    assert 1_300 <= half_rtt(8, "mpi") <= 2_500
+
+
+def test_half_rtt_converges_to_bandwidth_at_16mib():
+    """At 16 MiB the RDMA stacks are within ~10% of each other."""
+    big = 16 * MiB
+    verbs = half_rtt(big, "ib_verbs")
+    mpi = half_rtt(big, "mpi")
+    assert mpi / verbs < 1.1
+    tcp = half_rtt(big, "tcp")
+    assert tcp > mpi  # copies keep sockets behind even at large sizes
+
+
+def test_half_rtt_rejects_negative_size():
+    with pytest.raises(ValueError):
+        half_rtt(-1, "mpi")

@@ -1,0 +1,143 @@
+"""Tests for GPCNet noise metrics, fabric diagnostics, and the CLI."""
+
+import pytest
+
+from repro.analysis.portstats import fabric_report
+from repro.cli import main as cli_main
+from repro.network.units import KiB, MS
+from repro.systems import crystal_mini, malbec_mini
+from repro.workloads import split_nodes
+from repro.workloads.noise import (
+    _ring_partners,
+    gpcnet_allreduce,
+    gpcnet_report,
+    random_ring_latency,
+)
+from repro.workloads import run_workload
+
+
+# ------------------------------------------------------------------ noise
+
+
+def test_ring_partners_are_a_valid_pairing():
+    for it in range(5):
+        partner = _ring_partners(10, it, seed=1)
+        for a, b in partner.items():
+            assert partner[b] == a
+    # odd sizes leave exactly one rank unpaired
+    partner = _ring_partners(7, 0, seed=1)
+    unpaired = [a for a, b in partner.items() if b is None]
+    assert len(unpaired) == 1
+
+
+def test_ring_partners_deterministic_across_ranks():
+    assert _ring_partners(8, 3, 0) == _ring_partners(8, 3, 0)
+    assert _ring_partners(8, 3, 0) != _ring_partners(8, 4, 0)
+
+
+def test_random_ring_victim_runs():
+    res = run_workload(
+        malbec_mini(), list(range(12)), random_ring_latency(iterations=5),
+        max_ns=100 * MS,
+    )
+    assert res.completed
+    assert len(res.iteration_times) == 5
+
+
+def test_gpcnet_report_shows_aries_vs_slingshot_gap():
+    nodes = list(range(48))
+    victim, aggressor = split_nodes(nodes, 24, "random", seed=3)
+    aries = gpcnet_report(crystal_mini(), victim, aggressor)
+    slingshot = gpcnet_report(malbec_mini(), victim, aggressor)
+    for key in ("latency_noise_p99", "bandwidth_noise", "allreduce_noise"):
+        assert aries[key] >= 0.9
+        assert slingshot[key] < 2.0
+    # the headline: Aries noise dwarfs Slingshot noise
+    assert aries["allreduce_noise"] > 3 * slingshot["allreduce_noise"]
+
+
+# ------------------------------------------------------------- portstats
+
+
+def test_fabric_report_counts_and_utilization():
+    fabric = malbec_mini().build()
+    msgs = [fabric.send(i, i + 40, 64 * KiB) for i in range(8)]
+    fabric.sim.run()
+    rep = fabric_report(fabric)
+    assert rep.packets_injected == rep.packets_delivered
+    assert rep.bytes_delivered >= 8 * 64 * KiB
+    assert set(rep.tier_bytes) >= {"host", "inject"}
+    assert all(0.0 <= u <= 1.0 for u in rep.tier_utilization.values())
+    assert rep.mean_hops >= 1.0
+    assert len(rep.hot_ports) == 5
+    text = rep.render()
+    assert "Fabric report" in text and "Hottest ports" in text
+
+
+def test_fabric_report_empty_fabric():
+    fabric = malbec_mini().build()
+    fabric.sim.run()
+    rep = fabric_report(fabric)
+    assert rep.packets_delivered == 0
+    assert rep.mean_hops == 0.0
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def test_cli_topology(capsys):
+    assert cli_main(["topology"]) == 0
+    out = capsys.readouterr().out
+    assert "279,040" in out
+
+
+def test_cli_topology_custom_radix(capsys):
+    assert cli_main(["topology", "--radix", "32", "--hosts", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "groups" in out
+
+
+def test_cli_latency(capsys):
+    assert cli_main(["latency", "--ranks", "4", "--iterations", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "MPI_Allreduce" in out
+
+
+def test_cli_qos(capsys):
+    assert cli_main(["qos"]) == 0
+    out = capsys.readouterr().out
+    assert "80.0" in out and "20.0" in out
+
+
+def test_cli_report(capsys):
+    assert cli_main(["report", "--system", "malbec", "--messages", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "Fabric report" in out
+
+
+def test_cli_congestion_quick(capsys):
+    assert (
+        cli_main(
+            [
+                "congestion",
+                "--system",
+                "malbec",
+                "--nodes",
+                "32",
+                "--iterations",
+                "4",
+                "--budget-ms",
+                "100",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "congestion impact" in out
+
+
+def test_cli_unknown_system_exits():
+    import argparse
+
+    with pytest.raises(SystemExit):
+        cli_main(["latency", "--system", "bogus"])

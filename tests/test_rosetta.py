@@ -1,0 +1,109 @@
+"""Tests for the tile-level Rosetta switch model (paper Figs. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rosetta import CROSSBAR_KINDS, RosettaModel, TileGeometry
+from repro.core.ethernet import LANE_EFFECTIVE_GBPS, LANE_RAW_GBPS, SERDES_LANES
+from repro.network.units import ROSETTA_RADIX, SLINGSHOT_LINK_GBPS
+
+
+def test_geometry_matches_paper():
+    g = TileGeometry()
+    assert g.rows == 4 and g.cols == 8
+    assert g.n_tiles == 32
+    assert g.ports_per_tile == 2
+    assert g.n_ports == ROSETTA_RADIX == 64
+
+
+def test_port_speed_from_lanes():
+    # 4 lanes x 50 Gb/s effective (56 raw minus FEC) = 200 Gb/s (§II-A).
+    assert SERDES_LANES * LANE_EFFECTIVE_GBPS == SLINGSHOT_LINK_GBPS
+    assert LANE_RAW_GBPS > LANE_EFFECTIVE_GBPS
+
+
+def test_tile_mapping():
+    g = TileGeometry()
+    assert g.tile_of_port(0) == 0
+    assert g.tile_of_port(1) == 0
+    assert g.tile_of_port(19) == 9
+    assert g.row_of_port(19) == 1
+    assert g.col_of_port(19) == 1
+    assert g.tile_at(3, 7) == 31
+    with pytest.raises(ValueError):
+        g.tile_of_port(64)
+    with pytest.raises(ValueError):
+        g.tile_at(4, 0)
+
+
+def test_paper_example_route_port19_to_port56():
+    """Paper Fig. 1: port 19 -> row bus -> 16:8 crossbar -> column -> port 56."""
+    g = TileGeometry()
+    route = g.internal_route(19, 56)
+    # ingress tile of 19, the turn tile in row-of-19 / column-of-56,
+    # egress tile of 56 — three distinct tiles, i.e. two internal hops.
+    assert len(route) == 3
+    assert route[0] == g.tile_of_port(19)
+    assert route[-1] == g.tile_of_port(56)
+    turn = route[1]
+    assert turn // g.cols == g.row_of_port(19)
+    assert turn % g.cols == g.col_of_port(56)
+
+
+def test_max_two_internal_hops_for_all_pairs():
+    """'Packets are routed to the destination tile through two hops
+    maximum' (§II-A)."""
+    model = RosettaModel()
+    g = model.geometry
+    worst = max(
+        model.internal_hops(i, o) for i in range(g.n_ports) for o in range(g.n_ports)
+    )
+    assert worst <= 2
+
+
+def test_same_tile_route_is_short():
+    g = TileGeometry()
+    assert len(g.internal_route(0, 1)) == 1
+    assert len(g.internal_route(0, 0)) == 1
+
+
+def test_same_row_route_is_one_hop():
+    g = TileGeometry()
+    # ports 0 and 14 share row 0 but not a tile
+    assert g.row_of_port(0) == g.row_of_port(14)
+    assert len(g.internal_route(0, 14)) == 2
+
+
+def test_arbitration_is_16_to_8():
+    model = RosettaModel()
+    assert model.arbitration_fanin() == (16, 8)
+
+
+def test_latency_distribution_matches_figure2():
+    """Fig. 2: mean and median ~350 ns, bulk within 300-400 ns."""
+    model = RosettaModel(seed=42)
+    samples = model.latency_samples(20_000)
+    assert np.mean(samples) == pytest.approx(350.0, abs=15.0)
+    assert np.median(samples) == pytest.approx(350.0, abs=15.0)
+    in_band = np.mean((samples >= 300.0) & (samples <= 400.0))
+    assert in_band > 0.95  # "except for a few outliers"
+    assert samples.max() > 400.0 or in_band < 1.0  # outliers exist but rare
+    assert np.percentile(samples, 1) >= 290.0
+    assert np.percentile(samples, 99) <= 430.0
+
+
+def test_latency_reproducible_with_seed():
+    a = RosettaModel(seed=7).latency_samples(100)
+    b = RosettaModel(seed=7).latency_samples(100)
+    assert (a == b).all()
+
+
+def test_five_separate_crossbars():
+    assert set(CROSSBAR_KINDS) == {"request", "grant", "data", "credit", "ack"}
+    model = RosettaModel(seed=1)
+    # Control crossbars are much faster than the data path.
+    data = model.control_latency("data")
+    for kind in ("request", "grant", "credit", "ack"):
+        assert model.control_latency(kind) < data
+    with pytest.raises(ValueError):
+        model.control_latency("bogus")

@@ -1,0 +1,86 @@
+"""Tests for the experiment runner's edge cases and statistics."""
+
+import pytest
+
+from repro.network.units import MS
+from repro.systems import malbec_mini
+from repro.workloads import (
+    WorkloadResult,
+    allreduce_bench,
+    congestion_impact,
+    incast_congestor,
+    run_workload,
+)
+
+
+def test_workload_result_statistics():
+    r = WorkloadResult("x", [1.0, 2.0, 3.0, 4.0], sim_time=10.0, completed=True)
+    assert r.mean() == pytest.approx(2.5)
+    assert r.median() == pytest.approx(2.5)
+    assert r.percentile(100) == 4.0
+
+
+def test_partial_iterations_excluded():
+    """Iterations missing a rank's record must not enter the maxima."""
+    cfg = malbec_mini()
+
+    def lopsided(rank, record):
+        # rank 0 records 3 iterations, others only 2
+        n = 3 if rank.rank == 0 else 2
+        for it in range(n):
+            yield 100.0
+            record(it, 100.0)
+
+    res = run_workload(cfg, list(range(4)), lopsided)
+    assert len(res.iteration_times) == 2
+
+
+def test_congestion_impact_raises_on_empty_victim():
+    cfg = malbec_mini()
+
+    def never_finishes(rank, record):
+        yield 10 * MS  # records nothing within the budget
+        record(0, 1.0)
+
+    with pytest.raises(RuntimeError, match="no complete iterations"):
+        congestion_impact(
+            cfg,
+            list(range(4)),
+            never_finishes,
+            list(range(8, 16)),
+            incast_congestor(),
+            max_ns=1 * MS,
+        )
+
+
+def test_victim_exception_propagates():
+    cfg = malbec_mini()
+
+    def broken(rank, record):
+        yield 1.0
+        raise ValueError("victim bug")
+
+    with pytest.raises(ValueError, match="victim bug"):
+        run_workload(cfg, [0, 1], broken)
+
+
+def test_median_reduction_option():
+    cfg = malbec_mini()
+    r = congestion_impact(
+        cfg,
+        list(range(8)),
+        allreduce_bench(8, iterations=6),
+        list(range(30, 40)),
+        incast_congestor(),
+        max_ns=100 * MS,
+        reduce="median",
+    )
+    assert r["impact"] > 0
+
+
+def test_keep_fabric_flag():
+    cfg = malbec_mini()
+    r1 = run_workload(cfg, [0, 1], allreduce_bench(8, iterations=2))
+    assert r1.fabric is None
+    r2 = run_workload(cfg, [0, 1], allreduce_bench(8, iterations=2), keep_fabric=True)
+    assert r2.fabric is not None

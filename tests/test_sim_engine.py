@@ -1,0 +1,152 @@
+"""Unit tests for the DES engine core (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim import Simulator, StopSimulation
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30.0, order.append, "c")
+    sim.schedule(10.0, order.append, "a")
+    sim.schedule(20.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for i in range(50):
+        sim.schedule(5.0, order.append, i)
+    sim.run()
+    assert order == list(range(50))
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(42.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42.5]
+    assert sim.now == 42.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, "early")
+    sim.schedule(100.0, fired.append, "late")
+    sim.run(until=50.0)
+    assert fired == ["early"]
+    assert sim.now == 50.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_empty_queue():
+    sim = Simulator()
+    sim.run(until=77.0)
+    assert sim.now == 77.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: sim.schedule_at(20.0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [20.0]
+
+
+def test_nested_scheduling_during_run():
+    sim = Simulator()
+    order = []
+
+    def outer():
+        order.append(("outer", sim.now))
+        sim.schedule(5.0, inner)
+
+    def inner():
+        order.append(("inner", sim.now))
+
+    sim.schedule(10.0, outer)
+    sim.run()
+    assert order == [("outer", 10.0), ("inner", 15.0)]
+
+
+def test_stop_simulation_halts_run():
+    sim = Simulator()
+    fired = []
+
+    def stopper():
+        fired.append("stop")
+        raise StopSimulation()
+
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, stopper)
+    sim.schedule(3.0, fired.append, "never")
+    sim.run()
+    assert fired == ["a", "stop"]
+    assert sim.queue_length == 1
+
+
+def test_event_succeed_delivers_value_to_callbacks():
+    sim = Simulator()
+    got = []
+    ev = sim.event()
+    ev.add_callback(lambda e: got.append(e.value))
+    sim.schedule(3.0, ev.succeed, 99)
+    sim.run()
+    assert got == [99]
+
+
+def test_event_callback_added_after_trigger_still_fires():
+    sim = Simulator()
+    got = []
+    ev = sim.event()
+    ev.succeed("x")
+    ev.add_callback(lambda e: got.append(e.value))
+    sim.run()
+    assert got == ["x"]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.succeed()
+
+
+def test_event_fail_propagates_exception_via_value():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("boom"))
+    sim.run()
+    assert isinstance(ev.exception, RuntimeError)
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+
+
+def test_timeout_event_carries_value():
+    sim = Simulator()
+    got = []
+    ev = sim.timeout(7.0, value="tick")
+    ev.add_callback(lambda e: got.append((sim.now, e.value)))
+    sim.run()
+    assert got == [(7.0, "tick")]
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 10

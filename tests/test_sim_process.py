@@ -1,0 +1,224 @@
+"""Unit tests for generator-based processes (repro.sim.process)."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Interrupt, Simulator
+
+
+def test_process_sleeps_for_yielded_delay():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        log.append(sim.now)
+        yield 10.0
+        log.append(sim.now)
+        yield 5.0
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [0.0, 10.0, 15.0]
+
+
+def test_process_return_value_visible_to_waiter():
+    sim = Simulator()
+    results = []
+
+    def worker():
+        yield 3.0
+        return 42
+
+    def waiter():
+        value = yield sim.process(worker())
+        results.append((sim.now, value))
+
+    sim.process(waiter())
+    sim.run()
+    assert results == [(3.0, 42)]
+
+
+def test_process_waits_on_event_and_receives_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def proc():
+        value = yield ev
+        got.append((sim.now, value))
+
+    sim.process(proc())
+    sim.schedule(8.0, ev.succeed, "payload")
+    sim.run()
+    assert got == [(8.0, "payload")]
+
+
+def test_process_yield_list_waits_for_all():
+    sim = Simulator()
+    got = []
+
+    def worker(delay, tag):
+        yield delay
+        return tag
+
+    def main():
+        a = sim.process(worker(5.0, "a"))
+        b = sim.process(worker(9.0, "b"))
+        values = yield [a, b]
+        got.append((sim.now, values))
+
+    sim.process(main())
+    sim.run()
+    assert got == [(9.0, ["a", "b"])]
+
+
+def test_allof_empty_triggers_immediately():
+    sim = Simulator()
+    got = []
+
+    def main():
+        values = yield AllOf(sim, [])
+        got.append((sim.now, values))
+
+    sim.process(main())
+    sim.run()
+    assert got == [(0.0, [])]
+
+
+def test_anyof_returns_first_event_index_and_value():
+    sim = Simulator()
+    got = []
+
+    def main():
+        result = yield AnyOf(sim, [sim.timeout(20.0, "slow"), sim.timeout(4.0, "fast")])
+        got.append((sim.now, result))
+
+    sim.process(main())
+    sim.run()
+    assert got == [(4.0, (1, "fast"))]
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+    caught = []
+
+    def bad():
+        yield 1.0
+        raise ValueError("kaput")
+
+    def main():
+        try:
+            yield sim.process(bad())
+        except ValueError as err:
+            caught.append(str(err))
+
+    sim.process(main())
+    sim.run()
+    assert caught == ["kaput"]
+
+
+def test_interrupt_is_catchable_inside_process():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield 1000.0
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    p = sim.process(victim())
+    sim.schedule(10.0, p.interrupt, "enough")
+    sim.run()
+    assert log == [(10.0, "enough")]
+
+
+def test_uncaught_interrupt_kills_process_silently():
+    sim = Simulator()
+
+    def victim():
+        yield 1000.0
+
+    ended_at = []
+    p = sim.process(victim())
+    p.add_callback(lambda e: ended_at.append(sim.now))
+    sim.schedule(5.0, p.interrupt)
+    sim.run()
+    assert not p.alive
+    assert p.value is None
+    # The process died at the interrupt time; the abandoned timer still
+    # drains from the queue afterwards but resumes nobody.
+    assert ended_at == [pytest.approx(5.0)]
+
+
+def test_interrupted_wait_does_not_double_resume():
+    """After an interrupt, the original timeout firing must be ignored."""
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield 100.0
+        except Interrupt:
+            log.append(("interrupted", sim.now))
+        yield 50.0
+        log.append(("resumed", sim.now))
+
+    p = sim.process(victim())
+    sim.schedule(30.0, p.interrupt)
+    sim.run()
+    assert log == [("interrupted", 30.0), ("resumed", 80.0)]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield 1.0
+
+    p = sim.process(quick())
+    sim.run()
+    assert not p.alive
+    p.interrupt()  # must not raise
+    sim.run()
+
+
+def test_yielding_garbage_fails_the_process():
+    sim = Simulator()
+
+    def bad():
+        yield "not-an-event"
+
+    p = sim.process(bad())
+    sim.run()
+    assert isinstance(p.exception, TypeError)
+
+
+def test_non_generator_rejected():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_two_processes_interleave_deterministically():
+    sim = Simulator()
+    log = []
+
+    def ticker(name, period):
+        for _ in range(3):
+            yield period
+            log.append((name, sim.now))
+
+    sim.process(ticker("a", 10.0))
+    sim.process(ticker("b", 15.0))
+    sim.run()
+    # At t=30 both tickers fire; b's timer was scheduled first (at t=15,
+    # before a's at t=20), so scheduling order breaks the tie: b, then a.
+    assert log == [
+        ("a", 10.0),
+        ("b", 15.0),
+        ("a", 20.0),
+        ("b", 30.0),
+        ("a", 30.0),
+        ("b", 45.0),
+    ]

@@ -1,0 +1,238 @@
+"""Unit tests for Store / Credits / Gate (repro.sim.resources)."""
+
+import pytest
+
+from repro.sim import Credits, Gate, Simulator, Store
+
+
+# ---------------------------------------------------------------------- Store
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        yield store.put("x")
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield 25.0
+        yield store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(25.0, "late")]
+
+
+def test_store_put_blocks_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("put-a", sim.now))
+        yield store.put("b")
+        log.append(("put-b", sim.now))
+
+    def consumer():
+        yield 40.0
+        item = yield store.get()
+        log.append(("got", item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("put-a", 0.0) in log
+    assert ("got", "a", 40.0) in log
+    assert ("put-b", 40.0) in log
+
+
+def test_store_fifo_ordering_across_getters():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+    sim.schedule(1.0, store.put, "x")
+    sim.schedule(2.0, store.put, "y")
+    sim.run()
+    assert got == [("first", "x"), ("second", "y")]
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put("a")
+    sim.run()
+    assert store.try_get() == "a"
+    assert store.try_get() is None
+
+
+def test_store_rejects_nonpositive_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+# -------------------------------------------------------------------- Credits
+
+
+def test_credits_acquire_release_cycle():
+    sim = Simulator()
+    credits = Credits(sim, total=100)
+    log = []
+
+    def worker():
+        yield credits.acquire(60)
+        log.append(("got60", sim.now))
+        yield 10.0
+        credits.release(60)
+
+    def worker2():
+        yield 1.0
+        yield credits.acquire(60)  # must wait until worker releases
+        log.append(("got60b", sim.now))
+
+    sim.process(worker())
+    sim.process(worker2())
+    sim.run()
+    assert log == [("got60", 0.0), ("got60b", 10.0)]
+    assert credits.available == 40
+
+
+def test_credits_fifo_no_small_overtake():
+    """A small request queued behind a large one must not jump the queue."""
+    sim = Simulator()
+    credits = Credits(sim, total=10)
+    log = []
+
+    def holder():
+        yield credits.acquire(8)
+        yield 100.0
+        credits.release(8)
+
+    def big():
+        yield 1.0
+        yield credits.acquire(10)
+        log.append(("big", sim.now))
+        credits.release(10)
+
+    def small():
+        yield 2.0
+        yield credits.acquire(1)
+        log.append(("small", sim.now))
+
+    sim.process(holder())
+    sim.process(big())
+    sim.process(small())
+    sim.run()
+    assert log == [("big", 100.0), ("small", 100.0)]
+
+
+def test_credits_try_acquire():
+    sim = Simulator()
+    credits = Credits(sim, total=5)
+    assert credits.try_acquire(5)
+    assert not credits.try_acquire(1)
+    credits.release(5)
+    assert credits.try_acquire(1)
+
+
+def test_credits_over_release_detected():
+    sim = Simulator()
+    credits = Credits(sim, total=5)
+    with pytest.raises(RuntimeError):
+        credits.release(1)
+
+
+def test_credits_acquire_more_than_total_rejected():
+    sim = Simulator()
+    credits = Credits(sim, total=5)
+    with pytest.raises(ValueError):
+        credits.acquire(6)
+
+
+def test_credits_in_use_accounting():
+    sim = Simulator()
+    credits = Credits(sim, total=10)
+    credits.try_acquire(3)
+    assert credits.in_use == 3
+    assert credits.available == 7
+
+
+# ----------------------------------------------------------------------- Gate
+
+
+def test_gate_open_passes_immediately():
+    sim = Simulator()
+    gate = Gate(sim, open_=True)
+    log = []
+
+    def proc():
+        yield gate.wait()
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [0.0]
+
+
+def test_gate_closed_blocks_until_open():
+    sim = Simulator()
+    gate = Gate(sim, open_=False)
+    log = []
+
+    def proc():
+        yield gate.wait()
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.schedule(33.0, gate.open)
+    sim.run()
+    assert log == [33.0]
+
+
+def test_gate_reclose_blocks_new_waiters():
+    sim = Simulator()
+    gate = Gate(sim, open_=True)
+    log = []
+
+    def proc(tag, start):
+        yield start
+        yield gate.wait()
+        log.append((tag, sim.now))
+
+    sim.process(proc("a", 0.0))
+    sim.schedule(5.0, gate.close)
+    sim.process(proc("b", 10.0))
+    sim.schedule(20.0, gate.open)
+    sim.run()
+    assert log == [("a", 0.0), ("b", 20.0)]

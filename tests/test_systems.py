@@ -1,0 +1,88 @@
+"""Tests for the named system configurations (paper §III)."""
+
+import pytest
+
+from repro.network.units import gbps
+from repro.systems import (
+    aries_config,
+    crystal_mini,
+    crystal_paper,
+    malbec_mini,
+    malbec_paper,
+    shandy_mini,
+    shandy_paper,
+    slingshot_config,
+)
+from repro.network.dragonfly import DragonflyParams, DragonflyTopology
+
+
+def test_malbec_paper_structure():
+    cfg = malbec_paper()
+    assert cfg.params.n_groups == 4
+    # >= 484 nodes bookable, 128 per group
+    assert cfg.params.nodes_per_group == 128
+    assert cfg.params.n_nodes == 512
+    # "each group is connected to each other group through 48 global links"
+    topo = DragonflyTopology(cfg.params)
+    group_total = sum(
+        len(topo.group_pair_links(0, j)) for j in range(1, 4)
+    )
+    assert group_total == 48
+    cfg.params.validate_radix(64)
+
+
+def test_shandy_paper_structure():
+    cfg = shandy_paper()
+    assert cfg.params.n_nodes == 1024
+    assert cfg.params.n_groups == 8
+    assert cfg.params.links_per_pair == 8  # "8 towards each other group"
+    topo = DragonflyTopology(cfg.params)
+    # 56 global links per group (§II-G)
+    assert sum(len(topo.group_pair_links(0, j)) for j in range(1, 8)) == 56
+    # theoretical Fig. 6 peaks
+    assert topo.bisection_bandwidth_bytes_ns(gbps(200)) == pytest.approx(6400.0)
+    assert topo.alltoall_bandwidth_bytes_ns(gbps(200)) == pytest.approx(12800.0)
+
+
+def test_crystal_paper_structure():
+    cfg = crystal_paper()
+    assert cfg.params.n_groups == 2
+    assert cfg.params.nodes_per_group == 384
+    assert cfg.cc == "none"
+
+
+def test_slingshot_vs_aries_differentiators():
+    s = malbec_mini()
+    a = crystal_mini()
+    assert s.cc == "slingshot" and a.cc == "none"
+    assert s.host_link.bandwidth > a.host_link.bandwidth
+    assert a.shared_switch_buffers and not s.shared_switch_buffers
+    assert s.switch_latency == 350.0
+
+
+def test_minis_preserve_group_counts():
+    assert malbec_mini().params.n_groups == malbec_paper().params.n_groups
+    assert shandy_mini().params.n_groups == shandy_paper().params.n_groups
+    assert crystal_mini().params.n_groups == crystal_paper().params.n_groups
+
+
+def test_config_overrides_pass_through():
+    cfg = malbec_mini(cc="ecn", seed=42)
+    assert cfg.cc == "ecn" and cfg.seed == 42
+
+
+def test_custom_config_builders():
+    params = DragonflyParams(2, 2, 3, links_per_pair=1)
+    s = slingshot_config(params, nic_gbps=200.0)
+    assert s.nic_bandwidth == pytest.approx(25.0)
+    a = aries_config(params)
+    assert a.nic_bandwidth == pytest.approx(10.2)
+
+
+def test_paper_systems_buildable():
+    """The full-size systems must construct (slow runs are optional)."""
+    fab = malbec_paper().build()
+    assert fab.topology.n_nodes == 512
+    msg = fab.send(0, 511, 4096)
+    fab.sim.run()
+    assert msg.complete

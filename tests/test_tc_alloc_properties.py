@@ -1,0 +1,97 @@
+"""Property-based tests for traffic-class allocation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.traffic_classes import TcScheduler, TrafficClass
+from repro.flowsim import allocate_classes
+
+
+def class_lists():
+    """Random valid traffic-class configurations (guarantees feasible)."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(1, 5))
+        mins = draw(
+            st.lists(
+                st.floats(0.0, 0.5), min_size=n, max_size=n
+            ).filter(lambda ms: sum(ms) <= 1.0)
+        )
+        classes = []
+        for i, m in enumerate(mins):
+            max_share = draw(st.floats(max(m, 0.1), 1.0))
+            priority = draw(st.integers(0, 2))
+            classes.append(
+                TrafficClass(
+                    name=f"tc{i}", priority=priority, min_share=m, max_share=max_share
+                )
+            )
+        return classes
+
+    return build()
+
+
+@settings(max_examples=80, deadline=None)
+@given(classes=class_lists(), data=st.data())
+def test_allocation_never_exceeds_capacity_or_demand(classes, data):
+    capacity = data.draw(st.floats(1.0, 1000.0))
+    demands = [
+        data.draw(st.one_of(st.just(0.0), st.floats(0.01, 2000.0), st.just(float("inf"))))
+        for _ in classes
+    ]
+    rates = allocate_classes(capacity, classes, demands)
+    assert sum(rates) <= capacity * (1 + 1e-9)
+    for r, d, tc in zip(rates, demands, classes):
+        assert r >= -1e-12
+        assert r <= d + 1e-9
+        assert r <= tc.max_share * capacity + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(classes=class_lists(), data=st.data())
+def test_guarantees_met_at_top_priority_when_backlogged(classes, data):
+    """Within the highest active priority level, every always-backlogged
+    class receives at least its guaranteed share (capped by max_share)."""
+    capacity = 100.0
+    demands = [float("inf")] * len(classes)
+    rates = allocate_classes(capacity, classes, demands)
+    top = max(tc.priority for tc in classes)
+    for tc, r in zip(classes, rates):
+        if tc.priority == top:
+            entitled = min(tc.min_share, tc.max_share) * capacity
+            assert r >= entitled - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(classes=class_lists(), data=st.data())
+def test_work_conservation_when_uncapped_demand_exists(classes, data):
+    """If some top-priority class has unlimited demand and no cap, the
+    full capacity is handed out."""
+    capacity = 50.0
+    top = max(tc.priority for tc in classes)
+    if not any(tc.priority == top and tc.max_share >= 1.0 for tc in classes):
+        return
+    demands = [float("inf") if tc.priority == top else 0.0 for tc in classes]
+    rates = allocate_classes(capacity, classes, demands)
+    assert sum(rates) >= capacity * (1 - 1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_scheduler_never_starves_a_backlogged_class(data):
+    """DRR invariant: with all queues of one priority level backlogged,
+    every class is served eventually (bounded inter-service gap)."""
+    n = data.draw(st.integers(2, 4))
+    classes = [
+        TrafficClass(name=f"tc{i}", min_share=data.draw(st.floats(0.0, 1.0 / n)))
+        for i in range(n)
+    ]
+    sched = TcScheduler(classes, port_bandwidth=25.0)
+    sizes = [4158.0] * n
+    served = {i: 0 for i in range(n)}
+    for step in range(400):
+        tc = sched.select(float(step), lambda i: sizes[i], lambda i: True)
+        assert tc is not None
+        served[tc] += 1
+    assert all(count > 0 for count in served.values())

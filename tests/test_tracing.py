@@ -1,0 +1,85 @@
+"""Tests for the per-message tracer."""
+
+import pytest
+
+from repro.analysis import MessageTracer
+from repro.network.units import KiB
+from repro.systems import malbec_mini
+
+
+@pytest.fixture
+def traced_fabric():
+    fabric = malbec_mini().build()
+    tracer = MessageTracer(fabric)
+    return fabric, tracer
+
+
+def test_records_every_message(traced_fabric):
+    fabric, tracer = traced_fabric
+    for i in range(10):
+        fabric.send(i, i + 40, 4 * KiB)
+    fabric.sim.run()
+    assert len(tracer) == 10
+    for rec in tracer.records:
+        assert rec.latency_ns > 0
+        assert rec.bandwidth > 0
+        assert rec.distance in (1, 2, 3)
+
+
+def test_distance_classification(traced_fabric):
+    fabric, tracer = traced_fabric
+    fabric.send(0, 1, 64)  # same switch
+    fabric.send(0, 4, 64)  # same group
+    fabric.send(0, 30, 64)  # cross group
+    fabric.sim.run()
+    assert sorted(r.distance for r in tracer.records) == [1, 2, 3]
+
+
+def test_latency_percentiles_by_distance(traced_fabric):
+    fabric, tracer = traced_fabric
+    for _ in range(5):
+        fabric.send(0, 1, 8)
+        fabric.send(0, 30, 8)
+    fabric.sim.run()
+    summary = tracer.by_distance()
+    assert set(summary) == {1, 3}
+    # cross-group is slower at every percentile (quiet network)
+    for q in (50, 95, 99):
+        assert summary[3][q] > summary[1][q]
+
+
+def test_chains_existing_on_message_hook():
+    fabric = malbec_mini().build()
+    seen = []
+    fabric.nics[5].on_message = lambda m: seen.append(m.mid)
+    tracer = MessageTracer(fabric)
+    fabric.send(0, 5, 128)
+    fabric.sim.run()
+    assert len(seen) == 1  # the original hook still fires
+    assert len(tracer) == 1
+
+
+def test_csv_export(tmp_path, traced_fabric):
+    fabric, tracer = traced_fabric
+    fabric.send(2, 50, 1 * KiB)
+    fabric.sim.run()
+    text = tracer.to_csv()
+    assert text.splitlines()[0].startswith("src,dst,nbytes")
+    assert len(text.splitlines()) == 2
+    out = tmp_path / "trace.csv"
+    tracer.save_csv(str(out))
+    assert out.read_text() == text
+
+
+def test_empty_tracer_percentiles_nan(traced_fabric):
+    _, tracer = traced_fabric
+    import math
+
+    assert all(math.isnan(v) for v in tracer.percentiles().values())
+
+
+def test_loopback_distance_zero(traced_fabric):
+    fabric, tracer = traced_fabric
+    fabric.send(7, 7, 64)
+    fabric.sim.run()
+    assert tracer.records[0].distance == 0

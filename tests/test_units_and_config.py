@@ -1,0 +1,64 @@
+"""Tests for unit conversions and fabric configuration plumbing."""
+
+import pytest
+
+from repro.network.fabric import FabricConfig, LinkSpec
+from repro.network.units import (
+    KiB,
+    MiB,
+    GiB,
+    MS,
+    S,
+    US,
+    gbps,
+    to_gbps,
+)
+
+
+def test_time_constants():
+    assert US == 1e3 and MS == 1e6 and S == 1e9
+
+
+def test_size_constants():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+
+
+def test_bandwidth_round_trip():
+    for rate in (1.0, 100.0, 200.0, 400.0):
+        assert to_gbps(gbps(rate)) == pytest.approx(rate)
+
+
+def test_paper_link_speeds():
+    assert gbps(200) == 25.0  # Slingshot link: 25 bytes/ns
+    assert gbps(100) == 12.5  # ConnectX-5
+
+
+def test_linkspec_validation():
+    with pytest.raises(ValueError):
+        LinkSpec(0.0, 1.0, 1024)
+    with pytest.raises(ValueError):
+        LinkSpec(1.0, -1.0, 1024)
+    with pytest.raises(ValueError):
+        LinkSpec(1.0, 1.0, 0)
+
+
+def test_fabricconfig_with_creates_modified_copy():
+    cfg = FabricConfig()
+    cfg2 = cfg.with_(switch_latency=123.0)
+    assert cfg2.switch_latency == 123.0
+    assert cfg.switch_latency != 123.0  # original untouched
+    assert cfg2.params is cfg.params
+
+
+def test_fabricconfig_build_shortcut():
+    fabric = FabricConfig().build()
+    assert fabric.topology.n_nodes == fabric.config.params.n_nodes
+
+
+def test_default_config_is_slingshot_flavoured():
+    cfg = FabricConfig()
+    assert cfg.cc == "slingshot"
+    assert cfg.switch_latency == 350.0
+    assert not cfg.shared_switch_buffers

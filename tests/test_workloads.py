@@ -1,0 +1,233 @@
+"""Tests for workload programs: microbenchmarks, ember, app proxies,
+tailbench, and the experiment runner."""
+
+import pytest
+
+from repro.network.units import KiB, MS
+from repro.systems import malbec_mini
+from repro.workloads import (
+    TAILBENCH_APPS,
+    allreduce_bench,
+    alltoall_bench,
+    barrier_bench,
+    broadcast_bench,
+    bursty_incast_congestor,
+    fft3d,
+    grid_dims,
+    halo3d,
+    hpcg,
+    incast_bench,
+    incast_congestor,
+    lammps,
+    milc,
+    pingpong,
+    resnet_proxy,
+    run_workload,
+    sweep3d,
+    tailbench_client_server,
+)
+from repro.workloads.ember import _neighbors_3d
+
+
+def run(workload, n_nodes=16, **kwargs):
+    cfg = malbec_mini()
+    return run_workload(cfg, list(range(n_nodes)), workload, **kwargs)
+
+
+# ------------------------------------------------------------------ runner
+
+
+def test_runner_returns_per_iteration_maxima():
+    res = run(allreduce_bench(8, iterations=7))
+    assert res.completed
+    assert len(res.iteration_times) == 7
+    assert all(t > 0 for t in res.iteration_times)
+    assert res.mean() > 0 and res.median() > 0
+
+
+def test_runner_workload_name_propagates():
+    res = run(allreduce_bench(1024, iterations=3))
+    assert res.name == "allreduce_1024B"
+
+
+def test_runner_respects_max_ns_budget():
+    res = run(allreduce_bench(8, iterations=10_000), max_ns=1 * MS)
+    assert not res.completed
+    assert res.sim_time <= 1 * MS + 1
+
+
+def test_runner_warmup_delays_victim():
+    r0 = run(allreduce_bench(8, iterations=3))
+    r1 = run(allreduce_bench(8, iterations=3), warmup_ns=50_000.0)
+    assert r1.sim_time >= r0.sim_time + 50_000.0 - 1
+
+
+def test_runner_with_aggressor_spawns_it():
+    res = run(
+        allreduce_bench(8, iterations=3),
+        n_nodes=8,
+        aggressor_nodes=list(range(40, 56)),
+        aggressor=incast_congestor(message_bytes=32 * KiB),
+        keep_fabric=True,
+        max_ns=20 * MS,
+    )
+    agg_bytes = sum(res.fabric.nics[n].bytes_injected for n in range(40, 56))
+    assert agg_bytes > 0
+    assert res.completed
+
+
+# ------------------------------------------------------------- microbench
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: pingpong(1024, iterations=4),
+        lambda: allreduce_bench(8, iterations=4),
+        lambda: alltoall_bench(128, iterations=4),
+        lambda: barrier_bench(iterations=4),
+        lambda: broadcast_bench(4 * KiB, iterations=4),
+    ],
+)
+def test_microbenchmarks_complete(factory):
+    res = run(factory())
+    assert res.completed
+    assert len(res.iteration_times) == 4
+
+
+def test_pingpong_latency_scales_with_size():
+    small = run(pingpong(8, iterations=5))
+    large = run(pingpong(256 * KiB, iterations=5))
+    assert large.mean() > small.mean() * 2
+
+
+# ------------------------------------------------------------------ ember
+
+
+def test_grid_dims_factors_completely():
+    for n in (1, 2, 6, 8, 12, 16, 17, 64):
+        px, py, pz = grid_dims(n)
+        assert px * py * pz == n
+
+
+def test_grid_dims_prefers_cubic():
+    assert sorted(grid_dims(8)) == [2, 2, 2]
+    assert sorted(grid_dims(64)) == [4, 4, 4]
+
+
+def test_neighbors_3d_symmetry():
+    dims = (2, 2, 2)
+    for r in range(8):
+        for nb in _neighbors_3d(r, dims):
+            assert r in _neighbors_3d(nb, dims)
+
+
+def test_neighbors_3d_corner_has_three():
+    assert len(_neighbors_3d(0, (4, 4, 4))) == 3
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: halo3d(1 * KiB, iterations=3),
+        lambda: sweep3d(512, iterations=3),
+        lambda: incast_bench(1 * KiB, iterations=3),
+    ],
+)
+def test_ember_patterns_complete(factory):
+    res = run(factory())
+    assert res.completed
+    assert len(res.iteration_times) == 3
+
+
+def test_sweep3d_pipelines_in_rank_order():
+    """The wavefront's last rank must finish after the first."""
+    res = run(sweep3d(512, iterations=1), n_nodes=8)
+    assert res.completed
+
+
+# ------------------------------------------------------------------- apps
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: milc(iterations=2),
+        lambda: hpcg(iterations=2),
+        lambda: lammps(iterations=2),
+        lambda: fft3d(iterations=2),
+        lambda: resnet_proxy(iterations=2),
+    ],
+)
+def test_app_proxies_complete(factory, ):
+    res = run(factory(), max_ns=100 * MS)
+    assert res.completed
+    assert len(res.iteration_times) == 2
+
+
+def test_apps_have_compute_so_congestion_dilutes():
+    """An app iteration must be much longer than its bare communication
+    (the paper's explanation for apps being less congestion-sensitive)."""
+    with_compute = run(milc(iterations=2), max_ns=100 * MS)
+    bare = run(milc(iterations=2, compute_ns=0.0), max_ns=100 * MS)
+    assert with_compute.mean() > bare.mean() * 1.5
+
+
+# -------------------------------------------------------------- tailbench
+
+
+def test_tailbench_apps_cover_latency_spectrum():
+    names = set(TAILBENCH_APPS)
+    assert names == {"silo", "img-dnn", "xapian", "sphinx"}
+    silo = TAILBENCH_APPS["silo"].mean_service_ns
+    sphinx = TAILBENCH_APPS["sphinx"].mean_service_ns
+    assert sphinx > 50 * silo  # orders apart, like the paper's selection
+
+
+def test_tailbench_client_measures_request_latency():
+    app = TAILBENCH_APPS["silo"]
+    res = run(tailbench_client_server(app, n_requests=10), n_nodes=2, max_ns=100 * MS)
+    assert res.completed
+    assert len(res.iteration_times) == 10
+    # each request takes at least the service time
+    assert min(res.iteration_times) >= app.mean_service_ns * 0.3
+
+
+def test_tailbench_sphinx_slower_than_silo():
+    r_silo = run(
+        tailbench_client_server(TAILBENCH_APPS["silo"], n_requests=5),
+        n_nodes=2,
+        max_ns=200 * MS,
+    )
+    r_sphinx = run(
+        tailbench_client_server(TAILBENCH_APPS["sphinx"], n_requests=5),
+        n_nodes=2,
+        max_ns=200 * MS,
+    )
+    assert r_sphinx.median() > 10 * r_silo.median()
+
+
+# ------------------------------------------------------------------ burst
+
+
+def test_bursty_congestor_validation():
+    with pytest.raises(ValueError):
+        bursty_incast_congestor(burst_size=0)
+    with pytest.raises(ValueError):
+        bursty_incast_congestor(gap_ns=-1.0)
+
+
+def test_bursty_congestor_respects_gap():
+    """With a huge gap, only the first burst lands within the horizon."""
+    cfg = malbec_mini()
+    from repro.mpi import MpiWorld
+
+    fabric = cfg.build()
+    world = MpiWorld(fabric, list(range(8)))
+    world.spawn(
+        bursty_incast_congestor(message_bytes=4 * KiB, burst_size=2, gap_ns=1e9)
+    )
+    fabric.sim.run(until=5 * MS)
+    sent = fabric.messages_sent
+    # 7 senders x (2 in-flight window... burst of 2) and no more
+    assert 0 < sent <= 7 * 3
