@@ -45,24 +45,54 @@ class MessageTracer:
     """Records every completed message on a fabric.
 
     Wraps each destination NIC's ``on_message`` hook (chaining any hook
-    already installed) — attach once, before traffic starts.
+    already installed) — attach once, before traffic starts.  Call
+    :meth:`detach` (or use the tracer as a context manager) to stop
+    recording and unwind the wrappers, so several tracers can observe
+    one fabric in sequence without double-recording.
     """
 
     def __init__(self, fabric: Fabric):
         self.fabric = fabric
         self.records: List[MessageRecord] = []
+        self._active = False
+        self._installed: List[tuple] = []  # (nic, our_hook, previous_hook)
         self._attach()
 
     def _attach(self) -> None:
+        self._active = True
         for nic in self.fabric.nics:
             prev: Optional[Callable] = nic.on_message
 
             def hook(msg, _prev=prev):
-                self._record(msg)
+                if self._active:
+                    self._record(msg)
                 if _prev is not None:
                     _prev(msg)
 
             nic.on_message = hook
+            self._installed.append((nic, hook, prev))
+
+    def detach(self) -> None:
+        """Stop recording and remove this tracer's hooks.
+
+        Idempotent.  If another wrapper was installed on a NIC after
+        ours, the chain cannot be unlinked there; recording still stops
+        (the hook goes inert) and only that NIC keeps the extra
+        indirection.
+        """
+        if not self._active:
+            return
+        self._active = False
+        for nic, hook, prev in self._installed:
+            if nic.on_message is hook:
+                nic.on_message = prev
+        self._installed = []
+
+    def __enter__(self) -> "MessageTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
 
     def _record(self, msg) -> None:
         if msg.src == msg.dst:

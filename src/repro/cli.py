@@ -7,6 +7,7 @@ Usage::
     python -m repro congestion [--victim allreduce8] [--aggressor incast] ...
     python -m repro qos
     python -m repro report [--system shandy]
+    python -m repro trace [--system malbec] [--out trace_out] ...
 
 Each subcommand prints a paper-style table.  This is a convenience layer
 over the same public APIs the examples use.
@@ -60,6 +61,14 @@ def cmd_latency(args) -> int:
     from .mpi import MpiWorld
 
     config = _get_system(args.system)()
+    n_nodes = config.params.n_nodes
+    if args.ranks < 2:
+        raise SystemExit(f"--ranks must be at least 2 (got {args.ranks})")
+    if args.ranks > n_nodes:
+        raise SystemExit(
+            f"--ranks {args.ranks} exceeds the {n_nodes} nodes of the "
+            f"{config.name!r} mini-system; pick --ranks <= {n_nodes}"
+        )
     fabric = config.build()
     world = MpiWorld(fabric, nodes=list(range(args.ranks)))
     times = {}
@@ -177,6 +186,60 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    import random
+
+    from .telemetry import FabricTelemetry
+
+    if not (0.0 <= args.sample_rate <= 1.0):
+        raise SystemExit(f"--sample-rate must be in [0, 1] (got {args.sample_rate})")
+    config = _get_system(args.system)()
+    fabric = config.build()
+    telem = FabricTelemetry(
+        fabric,
+        sample_rate=args.sample_rate,
+        scrape_interval_ns=args.scrape_interval_us * 1000.0,
+        seed=args.seed,
+    )
+    rng = random.Random(args.seed)
+    n = fabric.topology.n_nodes
+    if args.pattern == "incast":
+        # Everyone hammers node 0: generates deep last-hop VOQs, ECN
+        # marks, and CC window cuts — the interesting trace to look at.
+        for src in range(1, min(n, args.messages + 1)):
+            fabric.send(src, 0, 64 * KiB)
+        sent = min(n - 1, args.messages)
+        while sent < args.messages:
+            fabric.send(1 + sent % (n - 1), 0, 64 * KiB)
+            sent += 1
+    else:
+        sent = 0
+        while sent < args.messages:
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b:
+                fabric.send(a, b, rng.choice([8, 4 * KiB, 64 * KiB]))
+                sent += 1
+    fabric.sim.run()
+    paths = telem.export(args.out)
+    sim = fabric.sim
+    rows = [
+        ["system", config.name],
+        ["pattern", args.pattern],
+        ["messages", args.messages],
+        ["simulated time", format_time_ns(sim.now)],
+        ["events processed", sim.events_processed],
+        ["events/s (wall)", f"{sim.events_per_wall_second:,.0f}"],
+        ["span events", len(telem.spans)],
+        ["span layers", ", ".join(telem.spans.layers())],
+        ["metrics", len(telem.registry)],
+        ["scrape snapshots", len(telem.scraper)],
+    ]
+    for kind, path in paths.items():
+        rows.append([kind, path])
+    print(render_table(["quantity", "value"], rows, title="Telemetry capture"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Slingshot-interconnect reproduction toolkit"
@@ -216,6 +279,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--messages", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a workload with full telemetry; export Chrome trace + JSONL",
+    )
+    p.add_argument("--system", choices=_SYSTEMS, default="malbec")
+    p.add_argument("--pattern", choices=("random", "incast"), default="incast")
+    p.add_argument("--messages", type=int, default=200)
+    p.add_argument("--sample-rate", type=float, default=1.0,
+                   help="fraction of packets given lifecycle spans")
+    p.add_argument("--scrape-interval-us", type=float, default=10.0,
+                   help="counter snapshot cadence in simulated microseconds")
+    p.add_argument("--out", default="trace_out",
+                   help="output directory for trace artifacts")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_trace)
     return parser
 
 

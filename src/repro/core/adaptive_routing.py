@@ -65,6 +65,8 @@ class AdaptiveRouter:
         # per-TC multiplier on the non-minimal penalty (QoS routing bias)
         self.tc_routing_bias = tc_routing_bias or (lambda tc: 1.0)
         self._rng = random.Random(stable_hash("router", seed))
+        #: telemetry hooks (repro.telemetry); None = zero-overhead path
+        self.telem = None
 
     # -- helpers -------------------------------------------------------------
 
@@ -141,9 +143,11 @@ class AdaptiveRouter:
                     candidates.append((self._port_towards_group(sw, k), True, k))
 
         if len(candidates) == 1:
-            port, _, inter = candidates[0]
+            port, nonmin, inter = candidates[0]
             if inter is not None:
                 pkt.intermediate_group = inter
+            if self.telem is not None:
+                self.telem.routed(sw.sim, sw, pkt, port, nonmin, inter)
             return port
 
         bias_mult = self.tc_routing_bias(pkt.tc)
@@ -159,10 +163,12 @@ class AdaptiveRouter:
             key = (score, nonmin, i)
             if best_score is None or key < best_score:
                 best_score = key
-                best = (port, inter)
-        port, inter = best
+                best = (port, nonmin, inter)
+        port, nonmin, inter = best
         if inter is not None:
             pkt.intermediate_group = inter
+        if self.telem is not None:
+            self.telem.routed(sw.sim, sw, pkt, port, nonmin, inter)
         return port
 
 
@@ -188,6 +194,7 @@ class ValiantRouter(AdaptiveRouter):
         if pkt.intermediate_group is not None and sw.group == pkt.intermediate_group:
             pkt.intermediate_group = None
         dst_g = self.topo.switch_group(dst_sw)
+        misrouted = None
         if pkt.hops == 1 and pkt.intermediate_group is None:
             if dst_g != sw.group and self.topo.params.n_groups > 2:
                 pool = [
@@ -195,12 +202,21 @@ class ValiantRouter(AdaptiveRouter):
                     for g in range(self.topo.params.n_groups)
                     if g != sw.group and g != dst_g
                 ]
-                pkt.intermediate_group = self._rng.choice(pool)
+                pkt.intermediate_group = misrouted = self._rng.choice(pool)
             elif dst_g == sw.group:
                 others = [s for s in self.topo.local_neighbors(sw.id) if s != dst_sw]
                 if others:
-                    return sw.port_to_switch[self._rng.choice(others)]
+                    port = sw.port_to_switch[self._rng.choice(others)]
+                    if self.telem is not None:
+                        self.telem.routed(sw.sim, sw, pkt, port, True, None)
+                    return port
         target_g = pkt.intermediate_group if pkt.intermediate_group is not None else dst_g
         if target_g == sw.group:
-            return sw.port_to_switch[dst_sw]
-        return self._port_towards_group(sw, target_g)
+            port = sw.port_to_switch[dst_sw]
+        else:
+            port = self._port_towards_group(sw, target_g)
+        if self.telem is not None:
+            self.telem.routed(
+                sw.sim, sw, pkt, port, misrouted is not None, misrouted
+            )
+        return port

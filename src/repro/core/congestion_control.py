@@ -72,6 +72,10 @@ class CongestionControl:
     #: human-readable name used in reports
     name = "abstract"
 
+    #: telemetry hooks (repro.telemetry); None = zero-overhead path.  A
+    #: class attribute so strategy subclasses need no __init__ plumbing.
+    telem = None
+
     def initial_window(self) -> float:
         raise NotImplementedError
 
@@ -112,6 +116,7 @@ class SlingshotCC(CongestionControl):
         return self.initial
 
     def on_ack(self, state: PairState, marked: bool, now: float) -> None:
+        before = state.window
         if marked:
             state.window = max(self.min_window, state.window * self.decrease_factor)
         elif state.window < 1.0:
@@ -123,6 +128,8 @@ class SlingshotCC(CongestionControl):
                 self.max_window,
                 state.window + self.increase_per_window / state.window,
             )
+        if self.telem is not None:
+            self.telem.acked(before, state.window)
 
 
 class NoCC(CongestionControl):
@@ -177,6 +184,7 @@ class EcnCC(CongestionControl):
             return
         state.last_update_ns = now
         if state.acks_since_update:
+            before = state.window
             frac = state.marks_since_update / state.acks_since_update
             if frac > 0.0:
                 state.window = max(
@@ -184,6 +192,8 @@ class EcnCC(CongestionControl):
                 )
             else:
                 state.window = min(self.max_window, state.window + self.recovery_step)
+            if self.telem is not None:
+                self.telem.acked(before, state.window)
         state.acks_since_update = 0
         state.marks_since_update = 0
 

@@ -256,6 +256,20 @@ class Fabric:
         self.send(src, dst, nbytes, tc=tc, tag=tag, on_complete=lambda m: ev.succeed(m))
         return ev
 
+    # -- observability ------------------------------------------------------------
+
+    def attach_telemetry(self, **kwargs):
+        """Attach the unified telemetry subsystem to this fabric.
+
+        Convenience wrapper over
+        :class:`repro.telemetry.FabricTelemetry`; see that class for the
+        keyword arguments (``sample_rate``, ``scrape_interval_ns`` …).
+        Without this call the fabric runs with zero telemetry overhead.
+        """
+        from ..telemetry import FabricTelemetry
+
+        return FabricTelemetry(self, **kwargs)
+
     # -- accounting / invariants --------------------------------------------------
 
     def packets_injected(self) -> int:

@@ -50,6 +50,7 @@ class NIC:
         "acks_clean",
         "nic_lookup",
         "idle_reset_ns",
+        "telem",
     )
 
     def __init__(
@@ -85,6 +86,8 @@ class NIC:
         self.nic_lookup = nic_lookup
         #: CC state for a pair idle this long resets to the initial window
         self.idle_reset_ns = idle_reset_ns
+        #: telemetry hooks (repro.telemetry); None = zero-overhead path
+        self.telem = None
 
     # -- send side ----------------------------------------------------------
 
@@ -134,6 +137,8 @@ class NIC:
             pkt.inject_time = now
             self.bytes_injected += pkt.size
             self.pkts_injected += 1
+            if self.telem is not None:
+                self.telem.injected(pkt, state)
             if paced:
                 # Fractional window => rate pacing: one packet per
                 # (serialization / window) interval.
@@ -181,6 +186,8 @@ class NIC:
                     msg.on_complete(msg)
                 if self.on_message is not None:
                     self.on_message(msg)
+        if self.telem is not None:
+            self.telem.delivered(pkt, msg)
         # End-to-end ack back to the source (contention-free reverse path:
         # wire propagation both ways + switch pipelines + NIC overhead).
         src_nic = self.nic_lookup(pkt.src)
@@ -198,6 +205,8 @@ class NIC:
         else:
             self.acks_clean += 1
         self.cc.on_ack(state, pkt.marked, self.sim.now)
+        if self.telem is not None:
+            self.telem.acked(pkt, state)
         self._pump(state)
 
     # -- introspection ----------------------------------------------------------

@@ -65,6 +65,7 @@ class Packet:
         "arrival_buf_shared",
         "marked",
         "is_last",
+        "traced",
     )
 
     def __init__(
@@ -96,6 +97,7 @@ class Packet:
         self.arrival_buf_shared = True
         self.marked = False
         self.is_last = is_last
+        self.traced = False  # selected for telemetry span recording?
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -68,6 +68,7 @@ class OutputPort:
         "pkts_sent",
         "marks_set",
         "name",
+        "telem",
         "_retry_armed",
         "on_dequeue",
         "error_rate",
@@ -123,6 +124,8 @@ class OutputPort:
         self.pkts_sent = 0
         self.marks_set = 0
         self.name = name
+        #: telemetry hooks (repro.telemetry); None = zero-overhead path
+        self.telem = None
         self._retry_armed = False
         #: optional hook fired with each dequeued packet (telemetry)
         self.on_dequeue: Optional[Callable] = None
@@ -159,6 +162,8 @@ class OutputPort:
     def enqueue(self, pkt) -> None:
         self.queues[pkt.tc].append(pkt)
         self.backlog += pkt.size
+        if self.telem is not None:
+            self.telem.enqueue(pkt, self)
         if not self.busy:
             self._try_send()
 
@@ -193,6 +198,10 @@ class OutputPort:
         if self.backlog > self.mark_threshold and self.kind == "host":
             pkt.marked = True
             self.marks_set += 1
+            if self.telem is not None:
+                self.telem.marked(pkt, self)
+        if self.telem is not None:
+            self.telem.arbitrated(pkt, self)
         if self.on_dequeue is not None:
             self.on_dequeue(pkt)
         self.busy = True
@@ -232,6 +241,8 @@ class OutputPort:
         self.backlog -= pkt.size
         self.bytes_sent += pkt.size
         self.pkts_sent += 1
+        if self.telem is not None:
+            self.telem.wire_tx(pkt, self)
         # The packet has physically left the owner: return the credit for
         # the upstream buffer slot it occupied (credit flies back over the
         # upstream wire).
@@ -275,6 +286,7 @@ class Switch:
         "ports_to_group",
         "port_to_node",
         "pkts_forwarded",
+        "telem",
     )
 
     def __init__(self, sim: Simulator, switch_id: int, group: int, latency: float, router):
@@ -287,6 +299,8 @@ class Switch:
         self.ports_to_group: Dict[int, List[OutputPort]] = {}
         self.port_to_node: Dict[int, OutputPort] = {}
         self.pkts_forwarded = 0
+        #: telemetry hooks (repro.telemetry); None = zero-overhead path
+        self.telem = None
 
     def all_ports(self) -> List[OutputPort]:
         out = list(self.port_to_switch.values())
@@ -300,6 +314,8 @@ class Switch:
         pkt.arrival_port = from_port
         pkt.arrival_vc = pkt.vc
         pkt.arrival_buf_shared = pkt.buf_shared
+        if self.telem is not None:
+            self.telem.rx(pkt, self)
         self.sim.schedule(self.latency, self._forward, pkt)
 
     def _forward(self, pkt) -> None:

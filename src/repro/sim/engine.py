@@ -16,6 +16,7 @@ units are used consistently across the whole package; see
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, List, Optional
 
 __all__ = ["Simulator", "Event", "StopSimulation"]
@@ -124,6 +125,11 @@ class Simulator:
         self._seq: int = 0
         self._events_processed: int = 0
         self._stopped = False
+        # event-loop diagnostics for the telemetry scraper: how the last
+        # run() call performed in *wall-clock* terms (pure observation;
+        # never feeds back into simulated behaviour)
+        self.last_run_events: int = 0
+        self.last_run_wall_s: float = 0.0
 
     # -- scheduling -------------------------------------------------------
 
@@ -160,6 +166,8 @@ class Simulator:
         if the queue drains earlier, matching SimPy semantics.
         """
         self._stopped = False
+        wall_start = time.perf_counter()
+        events_before = self._events_processed
         queue = self._queue
         while queue:
             t, _seq, fn, args = queue[0]
@@ -173,6 +181,8 @@ class Simulator:
             except StopSimulation:
                 self._stopped = True
                 break
+        self.last_run_wall_s = time.perf_counter() - wall_start
+        self.last_run_events = self._events_processed - events_before
         if until is not None and not self._stopped and self.now < until:
             self.now = until
 
@@ -187,3 +197,10 @@ class Simulator:
     @property
     def queue_length(self) -> int:
         return len(self._queue)
+
+    @property
+    def events_per_wall_second(self) -> float:
+        """Throughput of the most recent :meth:`run` (0 before any run)."""
+        if self.last_run_wall_s <= 0.0:
+            return 0.0
+        return self.last_run_events / self.last_run_wall_s

@@ -92,9 +92,8 @@ class RateMeter:
         self._bins: Dict[int, float] = {}
 
     def add(self, t: float, nbytes: float) -> None:
-        self._bins[int(t // self.window_ns)] = (
-            self._bins.get(int(t // self.window_ns), 0.0) + nbytes
-        )
+        b = int(t // self.window_ns)
+        self._bins[b] = self._bins.get(b, 0.0) + nbytes
 
     def series(self, t_end: Optional[float] = None) -> Tuple[np.ndarray, np.ndarray]:
         if not self._bins:

@@ -1,0 +1,344 @@
+"""Attach telemetry to a built fabric.
+
+:class:`FabricTelemetry` is the one entry point: construct it over a
+:class:`~repro.network.fabric.Fabric` and every layer — NICs, switch
+ports (VOQs), the adaptive router, the congestion-control strategy, and
+the simulator itself — starts reporting into one registry and one span
+stream under stable hierarchical names::
+
+    sim.queue_depth                      nic.0.tx_bytes
+    switch.3.pkts_forwarded              nic.0.cc_queued_bytes
+    switch.3.port.L3->4.voq_depth        router.decisions
+    switch.3.port.L3->4.tx_bytes         router.nonmin_decisions
+    switch.3.port.H3->12.marks           cc.window_cuts
+    fabric.pkt_latency_ns (histogram)    cc.window (histogram)
+
+Design rules (the whole point of this module):
+
+* **Disabled cost is one attribute check.**  Components carry a
+  ``telem`` attribute that is ``None`` until attached; every hot-path
+  hook is ``if self.telem is not None: ...``.  Nothing is scheduled,
+  allocated, or hashed on the disabled path, so an un-instrumented run
+  is event-for-event identical to a build that never imported this
+  package.
+* **Levels over events where possible.**  Quantities the components
+  already track (``bytes_sent``, ``backlog``, ``marks_set`` …) are
+  exposed as callable-backed gauges evaluated only at scrape time —
+  zero hot-path cost even when enabled.
+* **No simulation randomness.**  Span sampling hashes the packet id;
+  enabling tracing can never perturb routing or CC decisions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from .exporters import (
+    counters_to_csv,
+    timeseries_to_csv,
+    chrome_trace,
+    spans_to_jsonl,
+)
+from .registry import TelemetryRegistry
+from .scraper import CounterScraper
+from .spans import SpanRecorder
+
+__all__ = ["FabricTelemetry", "PortTelemetry", "SwitchTelemetry",
+           "NicTelemetry", "RouterTelemetry", "CcTelemetry"]
+
+
+class SwitchTelemetry:
+    """Span hook for packet arrival at a switch's input stage."""
+
+    __slots__ = ("spans", "sim")
+
+    def __init__(self, parent: "FabricTelemetry", sw):
+        self.spans = parent.spans
+        self.sim = sw.sim
+
+    def rx(self, pkt, sw) -> None:
+        if pkt.traced:
+            self.spans.record(
+                self.sim.now, pkt.pid, "switch", "switch_rx",
+                switch=sw.id, group=sw.group, hops=pkt.hops, vc=pkt.vc,
+            )
+
+
+class PortTelemetry:
+    """Span hooks for one output port (switch VOQ or NIC injection)."""
+
+    __slots__ = ("spans", "sim", "port_name", "layer")
+
+    def __init__(self, parent: "FabricTelemetry", port):
+        self.spans = parent.spans
+        self.sim = port.sim
+        self.port_name = port.name or port.kind
+        # the NIC's injection port is NIC-layer; everything else is a
+        # switch VOQ
+        self.layer = "nic" if port.kind == "inject" else "switch"
+
+    def enqueue(self, pkt, port) -> None:
+        if pkt.traced:
+            self.spans.record(
+                self.sim.now, pkt.pid, self.layer, "voq_enqueue",
+                port=self.port_name, tc=pkt.tc, vc=pkt.vc,
+                voq_bytes=port.backlog,
+            )
+
+    def arbitrated(self, pkt, port) -> None:
+        if pkt.traced:
+            self.spans.record(
+                self.sim.now, pkt.pid, self.layer, "arbitrated",
+                port=self.port_name, tc=pkt.tc, voq_bytes=port.backlog,
+            )
+
+    def marked(self, pkt, port) -> None:
+        if pkt.traced:
+            self.spans.record(
+                self.sim.now, pkt.pid, self.layer, "ecn_marked",
+                port=self.port_name, voq_bytes=port.backlog,
+            )
+
+    def wire_tx(self, pkt, port) -> None:
+        if pkt.traced:
+            self.spans.record(
+                self.sim.now, pkt.pid, self.layer, "wire_tx",
+                port=self.port_name, bytes=pkt.size,
+            )
+
+
+class NicTelemetry:
+    """Span + histogram hooks for one NIC (injection and delivery)."""
+
+    __slots__ = ("spans", "sim", "node", "pkt_latency", "msg_latency")
+
+    def __init__(self, parent: "FabricTelemetry", nic):
+        self.spans = parent.spans
+        self.sim = nic.sim
+        self.node = nic.node
+        self.pkt_latency = parent.registry.histogram(
+            "fabric.pkt_latency_ns", lo=10.0, hi=1e9, bins_per_decade=8
+        )
+        self.msg_latency = parent.registry.histogram(
+            "fabric.msg_latency_ns", lo=10.0, hi=1e10, bins_per_decade=8
+        )
+
+    def injected(self, pkt, state) -> None:
+        pkt.traced = self.spans.sample(pkt.pid)
+        if pkt.traced:
+            self.spans.record(
+                self.sim.now, pkt.pid, "nic", "injected",
+                src=pkt.src, dst=pkt.dst, bytes=pkt.size, tc=pkt.tc,
+                window=state.window, in_flight=state.in_flight,
+            )
+
+    def delivered(self, pkt, msg) -> None:
+        self.pkt_latency.observe(self.sim.now - pkt.inject_time)
+        if msg is not None and msg.complete_time == self.sim.now and msg.complete:
+            self.msg_latency.observe(self.sim.now - msg.submit_time)
+        if pkt.traced:
+            self.spans.record(
+                self.sim.now, pkt.pid, "nic", "delivered",
+                node=self.node, hops=pkt.hops,
+                latency_ns=self.sim.now - pkt.inject_time,
+                marked=pkt.marked,
+            )
+
+    def acked(self, pkt, state) -> None:
+        if pkt.traced:
+            self.spans.record(
+                self.sim.now, pkt.pid, "cc", "cc_window",
+                dst=pkt.dst, window=state.window,
+                in_flight=state.in_flight, marked=pkt.marked,
+            )
+
+
+class RouterTelemetry:
+    """Counters + spans for adaptive-routing decisions."""
+
+    __slots__ = ("spans", "decisions", "nonmin", "valiant")
+
+    def __init__(self, parent: "FabricTelemetry"):
+        self.spans = parent.spans
+        self.decisions = parent.registry.counter("router.decisions")
+        self.nonmin = parent.registry.counter("router.nonmin_decisions")
+        self.valiant = parent.registry.counter("router.valiant_misroutes")
+
+    def routed(self, sim, sw, pkt, port, nonminimal: bool,
+               intermediate_group: Optional[int]) -> None:
+        self.decisions.inc()
+        if nonminimal:
+            self.nonmin.inc()
+        if intermediate_group is not None:
+            self.valiant.inc()
+        if pkt.traced:
+            self.spans.record(
+                sim.now, pkt.pid, "routing", "routed",
+                switch=sw.id, port=port.name or port.kind,
+                nonmin=nonminimal,
+                via_group=intermediate_group,
+            )
+
+
+class CcTelemetry:
+    """Counters + window histogram for the congestion-control strategy."""
+
+    __slots__ = ("acks", "cuts", "grows", "window_hist")
+
+    def __init__(self, parent: "FabricTelemetry"):
+        reg = parent.registry
+        self.acks = reg.counter("cc.acks")
+        self.cuts = reg.counter("cc.window_cuts")
+        self.grows = reg.counter("cc.window_grows")
+        self.window_hist = reg.histogram(
+            "cc.window", lo=1.0 / 64.0, hi=1e3, bins_per_decade=8
+        )
+
+    def acked(self, window_before: float, window_after: float) -> None:
+        self.acks.inc()
+        if window_after < window_before:
+            self.cuts.inc()
+        elif window_after > window_before:
+            self.grows.inc()
+        self.window_hist.observe(window_after)
+
+
+class FabricTelemetry:
+    """Unified telemetry over one fabric.
+
+    >>> fabric = malbec_mini().build()                      # doctest: +SKIP
+    >>> telem = FabricTelemetry(fabric, sample_rate=0.1,
+    ...                         scrape_interval_ns=10_000)  # doctest: +SKIP
+    >>> fabric.sim.run()                                    # doctest: +SKIP
+    >>> telem.export("trace_out/")                          # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        fabric,
+        sample_rate: float = 1.0,
+        scrape_interval_ns: Optional[float] = None,
+        seed: Optional[int] = None,
+        max_span_events: int = 2_000_000,
+    ):
+        self.fabric = fabric
+        self.registry = TelemetryRegistry()
+        self.spans = SpanRecorder(
+            sample_rate=sample_rate,
+            seed=fabric.config.seed if seed is None else seed,
+            max_events=max_span_events,
+        )
+        self.scraper: Optional[CounterScraper] = None
+        if scrape_interval_ns is not None:
+            self.scraper = CounterScraper(
+                fabric.sim, self.registry, scrape_interval_ns
+            ).start()
+        self._attached = False
+        self._attach()
+
+    # -- wiring ----------------------------------------------------------------
+
+    def _attach(self) -> None:
+        fabric, reg = self.fabric, self.registry
+        sim = fabric.sim
+        reg.gauge("sim.queue_depth", fn=lambda: sim.queue_length)
+        reg.gauge("sim.events_processed", fn=lambda: sim.events_processed)
+        reg.gauge("sim.events_per_wall_s", fn=lambda: sim.events_per_wall_second)
+        reg.gauge("fabric.messages_sent", fn=lambda: fabric.messages_sent)
+        reg.gauge("fabric.messages_completed",
+                  fn=lambda: fabric.messages_completed)
+
+        for sw in fabric.switches:
+            base = f"switch.{sw.id}"
+            reg.gauge(f"{base}.pkts_forwarded", fn=lambda s=sw: s.pkts_forwarded)
+            sw.telem = SwitchTelemetry(self, sw)
+            for port in sw.all_ports():
+                self._attach_port(port, f"{base}.port.{port.name or port.kind}")
+
+        for nic in fabric.nics:
+            base = f"nic.{nic.node}"
+            reg.gauge(f"{base}.tx_bytes", fn=lambda n=nic: n.bytes_injected)
+            reg.gauge(f"{base}.rx_bytes", fn=lambda n=nic: n.bytes_delivered)
+            reg.gauge(f"{base}.tx_pkts", fn=lambda n=nic: n.pkts_injected)
+            reg.gauge(f"{base}.rx_pkts", fn=lambda n=nic: n.pkts_delivered)
+            reg.gauge(f"{base}.acks_marked", fn=lambda n=nic: n.acks_marked)
+            reg.gauge(f"{base}.cc_queued_bytes", fn=nic.queued_bytes)
+            nic.telem = NicTelemetry(self, nic)
+            self._attach_port(
+                nic.out_port, f"{base}.port.{nic.out_port.name or 'inject'}"
+            )
+
+        fabric.router.telem = RouterTelemetry(self)
+        fabric.cc.telem = CcTelemetry(self)
+        self._attached = True
+
+    def _attach_port(self, port, base: str) -> None:
+        reg = self.registry
+        reg.gauge(f"{base}.voq_depth", fn=lambda p=port: p.backlog)
+        reg.gauge(f"{base}.tx_bytes", fn=lambda p=port: p.bytes_sent)
+        reg.gauge(f"{base}.credited_bytes", fn=lambda p=port: p.credited_bytes)
+        reg.gauge(f"{base}.marks", fn=lambda p=port: p.marks_set)
+        port.telem = PortTelemetry(self, port)
+
+    def detach(self) -> None:
+        """Remove every hook; the fabric reverts to zero-overhead mode."""
+        if not self._attached:
+            return
+        fabric = self.fabric
+        for sw in fabric.switches:
+            sw.telem = None
+            for port in sw.all_ports():
+                port.telem = None
+        for nic in fabric.nics:
+            nic.telem = None
+            nic.out_port.telem = None
+        fabric.router.telem = None
+        fabric.cc.telem = None
+        if self.scraper is not None:
+            self.scraper.stop()
+        self._attached = False
+
+    def __enter__(self) -> "FabricTelemetry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- export ----------------------------------------------------------------
+
+    def export(self, outdir: str, prefix: str = "trace") -> dict:
+        """Write all artifacts into *outdir*; returns {kind: path}.
+
+        Artifacts: ``<prefix>.json`` (Chrome/Perfetto trace),
+        ``<prefix>.jsonl`` (span event stream), ``<prefix>_counters.csv``
+        (final values + histogram summaries) and, when a scraper is
+        active, ``<prefix>_timeseries.csv``.
+        """
+        os.makedirs(outdir, exist_ok=True)
+        if self.scraper is not None:
+            self.scraper.stop()  # final snapshot at current sim time
+        paths = {}
+
+        p = os.path.join(outdir, f"{prefix}.json")
+        with open(p, "w") as fh:
+            json.dump(chrome_trace(self.spans, self.scraper), fh)
+        paths["chrome_trace"] = p
+
+        p = os.path.join(outdir, f"{prefix}.jsonl")
+        with open(p, "w") as fh:
+            fh.write(spans_to_jsonl(self.spans))
+        paths["jsonl"] = p
+
+        p = os.path.join(outdir, f"{prefix}_counters.csv")
+        with open(p, "w") as fh:
+            fh.write(counters_to_csv(self.registry))
+        paths["counters_csv"] = p
+
+        if self.scraper is not None:
+            p = os.path.join(outdir, f"{prefix}_timeseries.csv")
+            with open(p, "w") as fh:
+                fh.write(timeseries_to_csv(self.scraper))
+            paths["timeseries_csv"] = p
+        return paths

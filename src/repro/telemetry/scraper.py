@@ -1,0 +1,116 @@
+"""Periodic counter scraping: registry snapshots → time series.
+
+The scraper is the replacement for ad-hoc per-experiment ``RateMeter``
+plumbing: instead of threading a meter into every hook, components
+register plain counters/gauges once and the scraper samples *all* of
+them on a fixed simulated-time cadence.  Rates fall out as
+``(snapshot[i+1] - snapshot[i]) / interval`` for any counter.
+
+The scraper schedules ordinary simulator events, so it only runs when
+explicitly started — a disabled-telemetry run schedules nothing.  To
+keep :meth:`Simulator.run` able to drain, a tick only re-arms itself
+while other (real) events remain in the queue; the final snapshot is
+taken by :meth:`stop` or by the exporter at save time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .registry import TelemetryRegistry
+
+__all__ = ["CounterScraper"]
+
+
+class CounterScraper:
+    """Snapshots every registry metric each ``interval_ns`` of sim time."""
+
+    def __init__(self, sim, registry: TelemetryRegistry, interval_ns: float):
+        if interval_ns <= 0:
+            raise ValueError("scrape interval must be positive")
+        self.sim = sim
+        self.registry = registry
+        self.interval_ns = interval_ns
+        #: snapshot times (ns)
+        self.times: List[float] = []
+        #: metric name -> one value per entry of :attr:`times` (metrics
+        #: registered after the first tick are back-filled with 0.0)
+        self.series: Dict[str, List[float]] = {}
+        self._armed = False
+
+    # -- control --------------------------------------------------------------
+
+    def start(self) -> "CounterScraper":
+        """Arm the first tick (idempotent)."""
+        if not self._armed:
+            self._armed = True
+            self.sim.schedule(self.interval_ns, self._tick)
+        return self
+
+    def stop(self) -> None:
+        """Take one final snapshot and stop re-arming."""
+        self._armed = False
+        self._snapshot()
+
+    # -- internals -------------------------------------------------------------
+
+    def _snapshot(self) -> None:
+        t = self.sim.now
+        if self.times and self.times[-1] == t:
+            return  # already sampled this instant
+        n_prev = len(self.times)
+        self.times.append(t)
+        snap = self.registry.snapshot()
+        for name, value in snap.items():
+            col = self.series.get(name)
+            if col is None:
+                col = [0.0] * n_prev
+                self.series[name] = col
+            col.append(value)
+        # metrics deleted from the registry mid-run don't exist; pad any
+        # column the snapshot missed so all series stay aligned
+        for name, col in self.series.items():
+            if len(col) < len(self.times):
+                col.append(col[-1] if col else 0.0)
+
+    def _tick(self) -> None:
+        if not self._armed:
+            return
+        self._snapshot()
+        # Re-arm only while real simulation events remain, so the scraper
+        # never keeps an otherwise-finished run alive.
+        if self.sim.queue_length > 0:
+            self.sim.schedule(self.interval_ns, self._tick)
+        else:
+            self._armed = False
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def get(self, name: str) -> List[float]:
+        return self.series.get(name, [])
+
+    def rate(self, name: str) -> List[float]:
+        """Per-interval rate (units/ns) for a counter series."""
+        col = self.series.get(name)
+        if not col or len(self.times) < 2:
+            return []
+        out = []
+        for i in range(1, len(col)):
+            dt = self.times[i] - self.times[i - 1]
+            out.append((col[i] - col[i - 1]) / dt if dt > 0 else 0.0)
+        return out
+
+    def names(self) -> List[str]:
+        return sorted(self.series)
+
+    def rows(self) -> List[tuple]:
+        """Long-format rows ``(t_ns, name, value)`` for CSV export."""
+        out = []
+        for name in sorted(self.series):
+            col = self.series[name]
+            for t, v in zip(self.times, col):
+                out.append((t, name, v))
+        return out

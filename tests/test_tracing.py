@@ -83,3 +83,48 @@ def test_loopback_distance_zero(traced_fabric):
     fabric.send(7, 7, 64)
     fabric.sim.run()
     assert tracer.records[0].distance == 0
+
+
+def test_detach_stops_recording():
+    fabric = malbec_mini().build()
+    tracer = MessageTracer(fabric)
+    fabric.send(0, 5, 128)
+    fabric.sim.run()
+    assert len(tracer) == 1
+    tracer.detach()
+    fabric.send(0, 6, 128)
+    fabric.sim.run()
+    assert len(tracer) == 1  # nothing recorded after detach
+    tracer.detach()  # idempotent
+
+
+def test_detach_restores_previous_hooks():
+    fabric = malbec_mini().build()
+    seen = []
+    fabric.nics[5].on_message = lambda m: seen.append(m.mid)
+    tracer = MessageTracer(fabric)
+    tracer.detach()
+    fabric.send(0, 5, 128)
+    fabric.sim.run()
+    assert len(seen) == 1  # original hook back in place and firing
+    assert fabric.nics[0].on_message is None
+
+
+def test_two_sequential_tracers_do_not_double_record():
+    fabric = malbec_mini().build()
+    with MessageTracer(fabric) as first:
+        fabric.send(0, 5, 128)
+        fabric.sim.run()
+    with MessageTracer(fabric) as second:
+        fabric.send(0, 6, 128)
+        fabric.sim.run()
+    assert len(first) == 1
+    assert len(second) == 1  # not 2: the first tracer is fully gone
+
+
+def test_context_manager_detaches_on_exit():
+    fabric = malbec_mini().build()
+    with MessageTracer(fabric) as tracer:
+        assert tracer._active
+    assert not tracer._active
+    assert all(nic.on_message is None for nic in fabric.nics)
