@@ -8,6 +8,7 @@ Usage::
     python -m repro qos
     python -m repro report [--system shandy]
     python -m repro trace [--system malbec] [--out trace_out] ...
+    python -m repro chaos [--system shandy] [--faults 3] [--curve] ...
 
 Each subcommand prints a paper-style table.  This is a convenience layer
 over the same public APIs the examples use.
@@ -240,6 +241,95 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .faults import FaultSchedule, chaos_run, degradation_curve, link_fail
+
+    config = _get_system(args.system)()
+
+    if args.curve:
+        rows = degradation_curve(config, max_ns=args.budget_ms * MS)
+        print(
+            render_table(
+                ["failed links", "live links", "completed", "goodput",
+                 "vs healthy"],
+                [
+                    [
+                        r["k_failed"],
+                        r["links_live"],
+                        f"{r['messages_completed']}/{r['messages_sent']}",
+                        f"{r['goodput_gbps']:.1f} Gb/s",
+                        f"{r['relative']:.0%}",
+                    ]
+                    for r in rows
+                ],
+                title=(
+                    f"Cross-group bandwidth vs failed global links "
+                    f"({config.name}, groups 0<->1)"
+                ),
+            )
+        )
+        if args.require_lossless and any(
+            r["messages_completed"] != r["messages_sent"] for r in rows
+        ):
+            print("FAIL: traffic was lost on the degraded fabric",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if args.fail_global > 0:
+        L = config.params.links_per_pair
+        if args.fail_global >= L:
+            raise SystemExit(
+                f"--fail-global {args.fail_global} would sever groups 0 and 1 "
+                f"entirely (links_per_pair={L}); use {L - 1} at most"
+            )
+        schedule = FaultSchedule(
+            [link_fail(0.0, ("global", 0, 1, i)) for i in range(args.fail_global)]
+        )
+    else:
+        # overlap the fault window with the traffic (injected over the
+        # first ~200us), not the whole simulated-time budget
+        schedule = lambda fabric: FaultSchedule.generate(  # noqa: E731
+            fabric,
+            seed=args.seed,
+            n_faults=args.faults,
+            t_start=5_000.0,
+            t_end=min(400_000.0, 0.5 * args.budget_ms * MS),
+            switch_faults=args.switch_faults,
+        )
+
+    result = chaos_run(
+        config,
+        schedule,
+        messages=args.messages,
+        seed=args.seed,
+        max_ns=args.budget_ms * MS,
+    )
+    rows = [
+        ["system", config.name],
+        ["messages", f"{result['messages_completed']}/{result['messages_sent']} completed"],
+        ["packets", f"{result['pkts_delivered']}/{result['pkts_injected']} delivered"],
+        ["dropped by faults", result["pkts_dropped"]],
+        ["e2e retransmits", result["retransmits"]],
+        ["duplicate deliveries", result["dup_pkts"]],
+        ["give-ups", result["giveups"]],
+        ["fault reroutes", result["reroutes"]],
+        ["no-route drops", result["no_route"]],
+        ["fault events applied", result["faults_applied"]],
+        ["links down at end", len(result["links_down_end"])],
+        ["makespan", format_time_ns(result["makespan_ns"])],
+        ["goodput", f"{result['goodput_gbps']:.1f} Gb/s"],
+        ["lossless", "yes" if result["lossless"] else "NO"],
+    ]
+    print(render_table(["quantity", "value"], rows,
+                       title="Chaos run (fault injection + e2e recovery)"))
+    if args.require_lossless and not result["lossless"]:
+        print("FAIL: traffic was lost despite end-to-end recovery",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Slingshot-interconnect reproduction toolkit"
@@ -295,6 +385,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output directory for trace artifacts")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault injection: degraded-fabric run with e2e recovery (§II-F)",
+    )
+    p.add_argument("--system", choices=_SYSTEMS, default="shandy")
+    p.add_argument("--messages", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", type=int, default=3,
+                   help="random link faults drawn from the seeded schedule")
+    p.add_argument("--switch-faults", type=int, default=0,
+                   help="whole-switch fail/recover pairs to add")
+    p.add_argument("--fail-global", type=int, default=0,
+                   help="instead: fail K parallel global links between "
+                        "groups 0 and 1 for the whole run")
+    p.add_argument("--curve", action="store_true",
+                   help="sweep the bandwidth-vs-failed-global-links curve")
+    p.add_argument("--budget-ms", type=float, default=60.0,
+                   help="simulated-time budget")
+    p.add_argument("--require-lossless", action="store_true",
+                   help="exit nonzero if any traffic failed to complete")
+    p.set_defaults(fn=cmd_chaos)
     return parser
 
 

@@ -20,6 +20,19 @@ Model choices:
   additive bias, so a quiet network always routes minimally ("biases
   packets to take minimal paths more frequently").
 
+Fault awareness (paper §II-F, "the fabric keeps serving traffic at
+reduced capacity"): when the topology's link-health mask reports any
+degradation, candidate generation switches to a fault-aware variant that
+excludes dead ports, falls back from dead direct global links to live
+gateway switches, and detours around a dead local link through a
+neighbour that still reaches the destination switch — re-biasing toward
+non-minimal paths exactly when a minimal path is down.  The decision
+rule (UGAL scoring) is unchanged.  If *no* live candidate exists the
+router returns ``None`` and the switch drops the packet; the NIC's
+end-to-end retransmission timer (repro.faults) re-injects it.  On a
+healthy fabric the degraded path is never entered: the only cost is one
+flag check per routing decision, and decisions are bit-identical.
+
 Three policies are provided: :class:`AdaptiveRouter` (Slingshot and, with
 different parameters, Aries), :class:`MinimalRouter` and
 :class:`ValiantRouter` (ablation baselines).
@@ -32,7 +45,12 @@ from typing import List, Optional, Tuple
 
 from ..sim.rng import stable_hash
 
-__all__ = ["AdaptiveRouter", "MinimalRouter", "ValiantRouter"]
+__all__ = ["AdaptiveRouter", "MinimalRouter", "ValiantRouter", "MAX_DEGRADED_HOPS"]
+
+#: Hop budget on a degraded fabric before a packet is dropped rather than
+#: detoured again (livelock guard; healthy worst case is 6 switch hops).
+#: End-to-end recovery re-injects anything this cuts off.
+MAX_DEGRADED_HOPS = 12
 
 
 class AdaptiveRouter:
@@ -67,6 +85,11 @@ class AdaptiveRouter:
         self._rng = random.Random(stable_hash("router", seed))
         #: telemetry hooks (repro.telemetry); None = zero-overhead path
         self.telem = None
+        #: fault statistics, only ever touched on a degraded fabric:
+        #: decisions where the minimal path was dead and traffic was
+        #: steered around it, and decisions with no live port at all
+        self.reroutes = 0
+        self.no_route = 0
 
     # -- helpers -------------------------------------------------------------
 
@@ -95,9 +118,44 @@ class AdaptiveRouter:
         choices = self._sample(gws, self.n_candidates)
         return self._least_loaded([sw.port_to_switch[g] for g in choices])
 
+    def _pick(self, sw, pkt, candidates):
+        """UGAL decision rule over the candidate set (shared by the healthy
+        and degraded paths; the candidate *generation* is what differs)."""
+        if len(candidates) == 1:
+            port, nonmin, inter = candidates[0]
+            if inter is not None:
+                pkt.intermediate_group = inter
+            if self.telem is not None:
+                self.telem.routed(sw.sim, sw, pkt, port, nonmin, inter)
+            return port
+
+        bias_mult = self.tc_routing_bias(pkt.tc)
+        best = None
+        best_score = None
+        for i, (port, nonmin, inter) in enumerate(candidates):
+            score = port.congestion_score()
+            if nonmin:
+                score = (
+                    score * self.nonmin_penalty * bias_mult
+                    + self.min_bias_bytes * bias_mult
+                )
+            key = (score, nonmin, i)
+            if best_score is None or key < best_score:
+                best_score = key
+                best = (port, nonmin, inter)
+        port, nonmin, inter = best
+        if inter is not None:
+            pkt.intermediate_group = inter
+        if self.telem is not None:
+            self.telem.routed(sw.sim, sw, pkt, port, nonmin, inter)
+        return port
+
     # -- main entry ------------------------------------------------------------
 
     def route(self, sw, pkt):
+        if self.topo.degraded:
+            return self._route_degraded(sw, pkt)
+
         dst_sw = self.topo.node_switch(pkt.dst)
         if dst_sw == sw.id:
             return sw.port_to_node[pkt.dst]
@@ -142,34 +200,126 @@ class AdaptiveRouter:
                 for k in self._sample(pool, self.n_candidates):
                     candidates.append((self._port_towards_group(sw, k), True, k))
 
-        if len(candidates) == 1:
-            port, nonmin, inter = candidates[0]
-            if inter is not None:
-                pkt.intermediate_group = inter
-            if self.telem is not None:
-                self.telem.routed(sw.sim, sw, pkt, port, nonmin, inter)
-            return port
+        return self._pick(sw, pkt, candidates)
 
-        bias_mult = self.tc_routing_bias(pkt.tc)
-        best = None
-        best_score = None
-        for i, (port, nonmin, inter) in enumerate(candidates):
-            score = port.congestion_score()
-            if nonmin:
-                score = (
-                    score * self.nonmin_penalty * bias_mult
-                    + self.min_bias_bytes * bias_mult
-                )
-            key = (score, nonmin, i)
-            if best_score is None or key < best_score:
-                best_score = key
-                best = (port, nonmin, inter)
-        port, nonmin, inter = best
-        if inter is not None:
-            pkt.intermediate_group = inter
-        if self.telem is not None:
-            self.telem.routed(sw.sim, sw, pkt, port, nonmin, inter)
-        return port
+    # -- degraded fabric -------------------------------------------------------
+
+    def _port_towards_group_live(self, sw, group):
+        """Fault-aware :meth:`_port_towards_group`; None if unreachable."""
+        direct = [p for p in (sw.ports_to_group.get(group) or ()) if p.up]
+        if direct:
+            return self._least_loaded(direct)
+        gws = [
+            g
+            for g in self.topo.live_gateways(sw.group, group)
+            if g != sw.id and sw.port_to_switch[g].up
+        ]
+        if not gws:
+            return None
+        choices = self._sample(gws, self.n_candidates)
+        return self._least_loaded([sw.port_to_switch[g] for g in choices])
+
+    def _route_degraded(self, sw, pkt):
+        """Candidate generation with the link-health mask applied.
+
+        Dead ports never enter the candidate set; when every minimal
+        option is dead the router *reroutes* — local detour through a
+        neighbour that still reaches the destination switch, or a live
+        gateway for a dead direct global link.  Returns ``None`` (drop;
+        e2e recovery re-injects) when nothing live remains.  Detours
+        around failures are taken even by :class:`MinimalRouter`: fault
+        avoidance is resiliency, not congestion-driven non-minimality.
+        """
+        topo = self.topo
+        dst_sw = topo.node_switch(pkt.dst)
+        if dst_sw == sw.id:
+            port = sw.port_to_node[pkt.dst]
+            if port.up:
+                if self.telem is not None:
+                    self.telem.routed(sw.sim, sw, pkt, port, False, None)
+                return port
+            self.no_route += 1
+            return None
+        if pkt.hops >= MAX_DEGRADED_HOPS:
+            self.no_route += 1
+            return None
+
+        if pkt.intermediate_group is not None and sw.group == pkt.intermediate_group:
+            pkt.intermediate_group = None
+
+        dst_g = topo.switch_group(dst_sw)
+        target_g = pkt.intermediate_group if pkt.intermediate_group is not None else dst_g
+        at_injection = pkt.hops == 1
+        candidates: List[Tuple[object, bool, Optional[int]]] = []
+        rerouted = False
+
+        if target_g == sw.group:
+            min_port = sw.port_to_switch.get(dst_sw)
+            if min_port is not None and min_port.up:
+                candidates.append((min_port, False, None))
+                if self.allow_nonminimal and at_injection and dst_g == sw.group:
+                    others = [
+                        s
+                        for s in topo.local_neighbors(sw.id)
+                        if s != dst_sw
+                        and sw.port_to_switch[s].up
+                        and topo.local_link_up(s, dst_sw)
+                    ]
+                    for m in self._sample(others, self.n_candidates):
+                        candidates.append((sw.port_to_switch[m], True, None))
+            else:
+                # Minimal local link is dead: detour through any neighbour
+                # that still has a live link onward to the destination.
+                rerouted = True
+                detours = [
+                    m
+                    for m in topo.local_neighbors(sw.id)
+                    if m != dst_sw
+                    and sw.port_to_switch[m].up
+                    and topo.local_link_up(m, dst_sw)
+                ]
+                for m in self._sample(detours, self.n_candidates):
+                    candidates.append((sw.port_to_switch[m], True, None))
+        else:
+            had_direct = sw.ports_to_group.get(target_g)
+            direct = [p for p in (had_direct or ()) if p.up]
+            if direct:
+                for port in self._sample(direct, self.n_candidates):
+                    candidates.append((port, False, None))
+            else:
+                if had_direct:
+                    rerouted = True  # our own global links to there all died
+                gws = [
+                    g
+                    for g in topo.live_gateways(sw.group, target_g)
+                    if g != sw.id and sw.port_to_switch[g].up
+                ]
+                if not gws:
+                    rerouted = True
+                for g in self._sample(gws, self.n_candidates):
+                    candidates.append((sw.port_to_switch[g], False, None))
+            if (
+                self.allow_nonminimal
+                and at_injection
+                and pkt.intermediate_group is None
+                and topo.params.n_groups > 2
+            ):
+                pool = [
+                    g
+                    for g in range(topo.params.n_groups)
+                    if g != sw.group and g != dst_g
+                ]
+                for k in self._sample(pool, self.n_candidates):
+                    port = self._port_towards_group_live(sw, k)
+                    if port is not None:
+                        candidates.append((port, True, k))
+
+        if not candidates:
+            self.no_route += 1
+            return None
+        if rerouted:
+            self.reroutes += 1
+        return self._pick(sw, pkt, candidates)
 
 
 class MinimalRouter(AdaptiveRouter):
@@ -188,9 +338,17 @@ class ValiantRouter(AdaptiveRouter):
     """
 
     def route(self, sw, pkt):
+        degraded = self.topo.degraded
         dst_sw = self.topo.node_switch(pkt.dst)
         if dst_sw == sw.id:
-            return sw.port_to_node[pkt.dst]
+            port = sw.port_to_node[pkt.dst]
+            if degraded and not port.up:
+                self.no_route += 1
+                return None
+            return port
+        if degraded and pkt.hops >= MAX_DEGRADED_HOPS:
+            self.no_route += 1
+            return None
         if pkt.intermediate_group is not None and sw.group == pkt.intermediate_group:
             pkt.intermediate_group = None
         dst_g = self.topo.switch_group(dst_sw)
@@ -205,6 +363,13 @@ class ValiantRouter(AdaptiveRouter):
                 pkt.intermediate_group = misrouted = self._rng.choice(pool)
             elif dst_g == sw.group:
                 others = [s for s in self.topo.local_neighbors(sw.id) if s != dst_sw]
+                if degraded:
+                    others = [
+                        s
+                        for s in others
+                        if sw.port_to_switch[s].up
+                        and self.topo.local_link_up(s, dst_sw)
+                    ]
                 if others:
                     port = sw.port_to_switch[self._rng.choice(others)]
                     if self.telem is not None:
@@ -213,8 +378,15 @@ class ValiantRouter(AdaptiveRouter):
         target_g = pkt.intermediate_group if pkt.intermediate_group is not None else dst_g
         if target_g == sw.group:
             port = sw.port_to_switch[dst_sw]
+            if degraded and not port.up:
+                port = None
+        elif degraded:
+            port = self._port_towards_group_live(sw, target_g)
         else:
             port = self._port_towards_group(sw, target_g)
+        if port is None:
+            self.no_route += 1
+            return None
         if self.telem is not None:
             self.telem.routed(
                 sw.sim, sw, pkt, port, misrouted is not None, misrouted

@@ -190,6 +190,13 @@ class TcScheduler:
         """Standard DRR: a queue that goes idle forfeits its deficit."""
         self._deficit[i] = 0.0
 
+    def set_port_bandwidth(self, bandwidth: float) -> None:
+        """Re-rate the scheduler after a link degrade/restore (repro.faults);
+        min/max shares are fractions, so caps track the new wire rate."""
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._port_bw = bandwidth
+
     def earliest_uncap_time(self, now: float, head_size) -> Optional[float]:
         """When a rate-capped queue will next be allowed to send.
 

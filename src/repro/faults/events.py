@@ -1,0 +1,113 @@
+"""Fault events: the primitive vocabulary of a chaos schedule.
+
+A :class:`FaultEvent` is one timed mutation of the fabric.  Targets are
+the stable link keys of :class:`repro.network.fabric.LinkRef` —
+``("local", si, sj)``, ``("global", gi, gj, idx)``, ``("host", node)`` —
+or a bare switch id for whole-switch events.  The constructors below are
+the recommended way to build events; they validate early so a typo in a
+schedule fails at construction time, not mid-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FaultEvent",
+    "ACTIONS",
+    "link_fail",
+    "link_recover",
+    "link_degrade",
+    "link_error",
+    "switch_fail",
+    "switch_recover",
+]
+
+#: action -> whether the target is a link key (else a switch id)
+ACTIONS = {
+    "link_fail": True,
+    "link_recover": True,
+    "link_degrade": True,
+    "link_error": True,
+    "switch_fail": False,
+    "switch_recover": False,
+}
+
+_LINK_KINDS = ("local", "global", "host")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fabric mutation.
+
+    ``t`` is absolute simulated time (ns); ``value`` carries the
+    bandwidth factor for ``link_degrade`` and the frame error rate for
+    ``link_error`` (unused otherwise).
+    """
+
+    t: float
+    action: str
+    target: object = field(default=())
+    value: float = 0.0
+
+    def __post_init__(self):
+        if self.t < 0:
+            raise ValueError(f"fault time cannot be negative (got {self.t})")
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; "
+                f"choose from {sorted(ACTIONS)}"
+            )
+        if ACTIONS[self.action]:
+            tgt = self.target
+            if (
+                not isinstance(tgt, tuple)
+                or not tgt
+                or tgt[0] not in _LINK_KINDS
+            ):
+                raise ValueError(
+                    f"{self.action} needs a link key "
+                    f"('local'/'global'/'host', ...), got {tgt!r}"
+                )
+        elif not isinstance(self.target, int):
+            raise ValueError(
+                f"{self.action} needs a switch id, got {self.target!r}"
+            )
+        if self.action == "link_degrade" and not (0.0 < self.value <= 1.0):
+            raise ValueError(
+                f"degrade factor must be in (0, 1], got {self.value}"
+            )
+        if self.action == "link_error" and not (0.0 <= self.value < 1.0):
+            raise ValueError(
+                f"frame error rate must be in [0, 1), got {self.value}"
+            )
+
+
+def link_fail(t: float, key: tuple) -> FaultEvent:
+    """Fail-stop both directions of a link at time *t*."""
+    return FaultEvent(t, "link_fail", tuple(key))
+
+
+def link_recover(t: float, key: tuple) -> FaultEvent:
+    """Restore a link to its as-built state (up, full rate, base BER)."""
+    return FaultEvent(t, "link_recover", tuple(key))
+
+
+def link_degrade(t: float, key: tuple, factor: float) -> FaultEvent:
+    """Run a link at *factor* of its as-built bandwidth from time *t*."""
+    return FaultEvent(t, "link_degrade", tuple(key), factor)
+
+
+def link_error(t: float, key: tuple, rate: float) -> FaultEvent:
+    """BER storm: raise a link's frame error rate (LLR replays soak it)."""
+    return FaultEvent(t, "link_error", tuple(key), rate)
+
+
+def switch_fail(t: float, switch_id: int) -> FaultEvent:
+    """Whole-switch failure: every attached wire goes down at *t*."""
+    return FaultEvent(t, "switch_fail", switch_id)
+
+
+def switch_recover(t: float, switch_id: int) -> FaultEvent:
+    """Bring a failed switch (and the links its failure downed) back."""
+    return FaultEvent(t, "switch_recover", switch_id)

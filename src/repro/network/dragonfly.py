@@ -113,6 +113,16 @@ class DragonflyTopology:
         self.global_ports_used: Dict[int, int] = {s: 0 for s in range(self.n_switches)}
         self._wire_global_links()
 
+        # -- mutable link-health mask (repro.faults) -----------------------
+        # The wiring above is the *installed* fabric; these sets record
+        # which installed links are currently dead.  All empty on a healthy
+        # fabric, and ``degraded`` is the single flag the router checks
+        # before paying any fault-awareness cost.
+        self._down_local: set = set()  # {(min(si,sj), max(si,sj))}
+        self._down_global: set = set()  # {(min(gi,gj), max(gi,gj), idx)}
+        self._down_hosts: set = set()  # {node}
+        self.degraded = False
+
     # -- id helpers ---------------------------------------------------------
 
     def switch_group(self, switch: int) -> int:
@@ -190,6 +200,70 @@ class DragonflyTopology:
                 for sj in sws[i + 1 :]:
                     out.append((si, sj))
         return out
+
+    # -- link health (repro.faults) ------------------------------------------
+
+    def _refresh_degraded(self) -> None:
+        self.degraded = bool(
+            self._down_local or self._down_global or self._down_hosts
+        )
+
+    def set_local_link_health(self, si: int, sj: int, link_up: bool) -> None:
+        """Mark the intra-group link between *si* and *sj* up or down."""
+        if self.switch_group(si) != self.switch_group(sj) or si == sj:
+            raise ValueError(f"({si}, {sj}) is not a local link")
+        key = (min(si, sj), max(si, sj))
+        if link_up:
+            self._down_local.discard(key)
+        else:
+            self._down_local.add(key)
+        self._refresh_degraded()
+
+    def set_global_link_health(self, gi: int, gj: int, idx: int, link_up: bool) -> None:
+        """Mark the *idx*-th parallel global link between two groups."""
+        if not (0 <= idx < len(self.group_pair_links(gi, gj))):
+            raise ValueError(f"group pair ({gi}, {gj}) has no link #{idx}")
+        key = (min(gi, gj), max(gi, gj), idx)
+        if link_up:
+            self._down_global.discard(key)
+        else:
+            self._down_global.add(key)
+        self._refresh_degraded()
+
+    def set_host_link_health(self, node: int, link_up: bool) -> None:
+        """Mark the host link of *node* up or down."""
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"no node {node}")
+        if link_up:
+            self._down_hosts.discard(node)
+        else:
+            self._down_hosts.add(node)
+        self._refresh_degraded()
+
+    def local_link_up(self, si: int, sj: int) -> bool:
+        return (min(si, sj), max(si, sj)) not in self._down_local
+
+    def global_link_up(self, gi: int, gj: int, idx: int) -> bool:
+        return (min(gi, gj), max(gi, gj), idx) not in self._down_global
+
+    def host_link_up(self, node: int) -> bool:
+        return node not in self._down_hosts
+
+    def live_gateways(self, gi: int, gj: int) -> List[int]:
+        """Switches in group *gi* with at least one *live* link to *gj*.
+
+        Identical to :meth:`gateways` on a healthy fabric (same sorted
+        order), so routing decisions are unchanged until a link dies.
+        """
+        if not self._down_global:
+            return self.gateways(gi, gj)
+        lo, hi = min(gi, gj), max(gi, gj)
+        live = {
+            si
+            for idx, (si, _) in enumerate(self._pair_links[(gi, gj)])
+            if (lo, hi, idx) not in self._down_global
+        }
+        return sorted(live)
 
     # -- analytic bandwidth figures (used by Fig. 6 theory lines) -----------
 

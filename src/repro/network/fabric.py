@@ -28,7 +28,39 @@ from .packet import ROCE_HEADER_BYTES, Message
 from .switch import OutputPort, Switch
 from .units import KiB, gbps
 
-__all__ = ["LinkSpec", "FabricConfig", "Fabric"]
+__all__ = ["LinkSpec", "FabricConfig", "Fabric", "LinkRef"]
+
+
+@dataclass
+class LinkRef:
+    """One bidirectional wire of the built fabric, addressable for fault
+    injection.  ``key`` is the stable identifier used by
+    :class:`repro.faults.FaultSchedule` events:
+
+    * ``("local", si, sj)`` with ``si < sj`` — intra-group link;
+    * ``("global", gi, gj, idx)`` with ``gi < gj`` — the *idx*-th parallel
+      global link between two groups;
+    * ``("host", node)`` — the switch<->NIC link of *node* (both the
+      egress and the injection direction).
+
+    ``ports`` holds the constituent :class:`OutputPort` objects (one per
+    direction) and ``base_bandwidths`` their as-built rates, so a
+    recovery can restore a degraded link exactly.
+    """
+
+    key: tuple
+    kind: str
+    ports: tuple
+    spec: LinkSpec
+    base_bandwidths: tuple = ()
+
+    def __post_init__(self):
+        if not self.base_bandwidths:
+            self.base_bandwidths = tuple(p.bandwidth for p in self.ports)
+
+    @property
+    def up(self) -> bool:
+        return all(p.up for p in self.ports)
 
 
 @dataclass(frozen=True)
@@ -58,6 +90,12 @@ class LinkSpec:
             raise ValueError("buffer must be positive")
         if not (0.0 <= self.frame_error_rate < 1.0):
             raise ValueError("frame_error_rate must be in [0, 1)")
+        if self.replay_latency_ns < 0:
+            raise ValueError(
+                f"replay_latency_ns cannot be negative (got "
+                f"{self.replay_latency_ns}): the LLR replay round-trip "
+                f"takes physical time"
+            )
 
 
 @dataclass
@@ -140,9 +178,17 @@ class Fabric:
             for n in range(self.topology.n_nodes)
         ]
         self._ingress_pools: Dict[int, List] = {}
+        #: link directory for fault injection: key -> LinkRef (repro.faults)
+        self.links: Dict[tuple, LinkRef] = {}
+        #: link keys attached to each switch (whole-switch failure support)
+        self._switch_links: Dict[int, List[tuple]] = {}
         self._wire_everything()
         self.messages_sent = 0
         self.messages_completed = 0
+        #: the attached FaultInjector, if any (set by repro.faults)
+        self.fault_injector = None
+        #: links a fail_switch() brought down, per switch (for restore)
+        self._switch_downed: Dict[int, List[tuple]] = {}
 
     def _nic_lookup(self, node: int) -> NIC:
         return self.nics[node]
@@ -189,6 +235,11 @@ class Fabric:
             seed=self.config.seed,
         )
 
+    def _register_link(self, key, kind, ports, spec, *switches) -> None:
+        self.links[key] = LinkRef(key=key, kind=kind, ports=tuple(ports), spec=spec)
+        for s in switches:
+            self._switch_links.setdefault(s, []).append(key)
+
     def _wire_everything(self) -> None:
         cfg = self.config
         # Local links: one bidirectional link per switch pair inside a group.
@@ -196,15 +247,31 @@ class Fabric:
             a, b = self.switches[si], self.switches[sj]
             a.port_to_switch[sj] = self._port(a, "local", b, cfg.local_link, name=f"L{si}->{sj}")
             b.port_to_switch[si] = self._port(b, "local", a, cfg.local_link, name=f"L{sj}->{si}")
+            self._register_link(
+                ("local", min(si, sj), max(si, sj)),
+                "local",
+                (a.port_to_switch[sj], b.port_to_switch[si]),
+                cfg.local_link,
+                si,
+                sj,
+            )
         # Global links (possibly several parallel ones per switch pair).
+        pair_idx: Dict[tuple, int] = {}
         for si, sj in self.topology.all_global_links():
             a, b = self.switches[si], self.switches[sj]
             ga, gb = a.group, b.group
-            a.ports_to_group.setdefault(gb, []).append(
-                self._port(a, "global", b, cfg.global_link, name=f"G{si}->{sj}")
-            )
-            b.ports_to_group.setdefault(ga, []).append(
-                self._port(b, "global", a, cfg.global_link, name=f"G{sj}->{si}")
+            fwd = self._port(a, "global", b, cfg.global_link, name=f"G{si}->{sj}")
+            rev = self._port(b, "global", a, cfg.global_link, name=f"G{sj}->{si}")
+            a.ports_to_group.setdefault(gb, []).append(fwd)
+            b.ports_to_group.setdefault(ga, []).append(rev)
+            # idx matches the link's position in topology.group_pair_links
+            # (all_global_links iterates pairs in that same order).
+            pk = (min(ga, gb), max(ga, gb))
+            idx = pair_idx.get(pk, 0)
+            pair_idx[pk] = idx + 1
+            self._register_link(
+                ("global", pk[0], pk[1], idx), "global", (fwd, rev),
+                cfg.global_link, si, sj,
             )
         # Host links: switch <-> NIC both directions.  The NIC's injection
         # rate may be below the switch port rate (100 Gb/s CX-5 on a
@@ -220,6 +287,10 @@ class Fabric:
                 cfg.host_link,
                 bandwidth=min(cfg.nic_bandwidth, cfg.host_link.bandwidth),
                 name=f"I{n}->{s}",
+            )
+            self._register_link(
+                ("host", n), "host", (sw.port_to_node[n], nic.out_port),
+                cfg.host_link, s,
             )
 
     # -- traffic API -------------------------------------------------------------
@@ -270,6 +341,100 @@ class Fabric:
 
         return FabricTelemetry(self, **kwargs)
 
+    def attach_faults(self, schedule=None, **kwargs):
+        """Attach the fault-injection subsystem to this fabric.
+
+        Convenience wrapper over :class:`repro.faults.FaultInjector`; see
+        that class for keyword arguments (``base_rto_ns``, ``max_retries``
+        …).  Without this call the fabric runs with zero fault-machinery
+        overhead and is bit-identical to a fault-unaware build.
+        """
+        from ..faults import FaultInjector
+
+        return FaultInjector(self, schedule, **kwargs)
+
+    # -- fault control (repro.faults) ---------------------------------------------
+    #
+    # These are the primitive mutations the FaultInjector drives.  They keep
+    # three layers in sync: the per-port ``up`` flags (data plane), the
+    # topology's link-health mask (what the adaptive router consults), and
+    # the ``links`` directory bookkeeping (what a recovery must restore).
+
+    def _link(self, key: tuple) -> LinkRef:
+        try:
+            return self.links[tuple(key)]
+        except KeyError:
+            raise KeyError(f"no such link {key!r}; see Fabric.links for ids")
+
+    def _mask_link(self, ref: LinkRef, up: bool) -> None:
+        topo, key = self.topology, ref.key
+        if ref.kind == "local":
+            topo.set_local_link_health(key[1], key[2], up)
+        elif ref.kind == "global":
+            topo.set_global_link_health(key[1], key[2], key[3], up)
+        else:
+            topo.set_host_link_health(key[1], up)
+
+    def fail_link(self, key: tuple) -> None:
+        """Fail-stop both directions of a link (queued packets drop)."""
+        ref = self._link(key)
+        if not ref.up:
+            return
+        for port in ref.ports:
+            port.fail()
+        self._mask_link(ref, False)
+
+    def restore_link(self, key: tuple) -> None:
+        """Return a link to its as-built state: up, full bandwidth, and
+        the configured frame error rate."""
+        ref = self._link(key)
+        self._mask_link(ref, True)
+        for port, bw in zip(ref.ports, ref.base_bandwidths):
+            port.set_bandwidth(bw)
+            port.set_error_rate(ref.spec.frame_error_rate, seed=self.config.seed)
+            port.recover()
+
+    def degrade_link(self, key: tuple, factor: float) -> None:
+        """Run a link at ``factor`` of its as-built bandwidth (0 < f <= 1)."""
+        if not (0.0 < factor <= 1.0):
+            raise ValueError(f"degrade factor must be in (0, 1], got {factor}")
+        ref = self._link(key)
+        for port, bw in zip(ref.ports, ref.base_bandwidths):
+            port.set_bandwidth(bw * factor)
+
+    def set_link_error_rate(self, key: tuple, rate: float) -> None:
+        """Set a link's instantaneous frame error rate (BER storm)."""
+        ref = self._link(key)
+        for port in ref.ports:
+            port.set_error_rate(rate, seed=self.config.seed)
+
+    def fail_switch(self, switch_id: int) -> None:
+        """Whole-switch failure: every attached wire goes down."""
+        sw = self.switches[switch_id]
+        if not sw.up:
+            return
+        sw.up = False
+        downed = []
+        for key in self._switch_links.get(switch_id, ()):
+            if self.links[key].up:
+                self.fail_link(key)
+                downed.append(key)
+        self._switch_downed[switch_id] = downed
+
+    def restore_switch(self, switch_id: int) -> None:
+        """Bring a failed switch back, restoring only the links that its
+        failure brought down (independently failed links stay down)."""
+        sw = self.switches[switch_id]
+        if sw.up:
+            return
+        sw.up = True
+        for key in self._switch_downed.pop(switch_id, ()):
+            self.restore_link(key)
+
+    def links_down(self) -> List[tuple]:
+        """Keys of all currently-failed links (sorted for determinism)."""
+        return sorted(k for k, ref in self.links.items() if not ref.up)
+
     # -- accounting / invariants --------------------------------------------------
 
     def packets_injected(self) -> int:
@@ -281,19 +446,98 @@ class Fabric:
     def bytes_delivered(self) -> int:
         return sum(nic.bytes_delivered for nic in self.nics)
 
+    def packets_dropped(self) -> int:
+        """Packets discarded by faults (dead wires/switches, no-route).
+        Always 0 on a healthy fabric."""
+        total = sum(sw.pkts_dropped for sw in self.switches)
+        for sw in self.switches:
+            for port in sw.all_ports():
+                total += port.pkts_dropped
+        total += sum(nic.out_port.pkts_dropped for nic in self.nics)
+        return total
+
+    def _stuck_report(self, limit: int = 12) -> str:
+        """Where undelivered packets are parked right now (diagnostics for
+        assert_quiescent failures, essential when debugging fault runs)."""
+        now = self.sim.now
+        entries = []
+
+        def port_entry(where, port):
+            pkts = [p for q in port.queues for p in q]
+            if not pkts and port.backlog == 0:
+                return
+            line = (
+                f"  {where} port {port.name or port.kind}: "
+                f"backlog {port.backlog:.0f}B, {len(pkts)} queued"
+            )
+            if pkts:
+                oldest = min(pkts, key=lambda p: (p.inject_time, p.pid))
+                line += (
+                    f", oldest pkt {oldest.pid} ({oldest.src}->{oldest.dst}"
+                    f", seq {oldest.seq}) age {now - oldest.inject_time:.0f}ns"
+                )
+            entries.append(line)
+
+        for sw in self.switches:
+            for port in sw.all_ports():
+                port_entry(f"switch {sw.id}", port)
+        for nic in self.nics:
+            port_entry(f"nic {nic.node}", nic.out_port)
+            pending = sum(len(s.pending) for s in nic.pairs.values())
+            if pending:
+                entries.append(
+                    f"  nic {nic.node}: {pending} pkts pending in host memory"
+                )
+            if nic.retrans is not None and nic.retrans.outstanding:
+                keys = sorted(nic.retrans.outstanding)[:4]
+                entries.append(
+                    f"  nic {nic.node}: {len(nic.retrans.outstanding)} pkts "
+                    f"awaiting e2e ack/retransmit (mid, seq): {keys}"
+                )
+        if not entries:
+            return ""
+        shown = entries[:limit]
+        if len(entries) > limit:
+            shown.append(f"  ... and {len(entries) - limit} more locations")
+        return "\nstuck packets:\n" + "\n".join(shown)
+
     def assert_quiescent(self) -> None:
-        """After a drained run: everything injected must have arrived and
-        every buffer credit must have been returned (packet conservation)."""
-        inj, dlv = self.packets_injected(), self.packets_delivered()
-        if inj != dlv:
-            raise AssertionError(f"packet loss: injected {inj}, delivered {dlv}")
+        """After a drained run: everything injected must have arrived (or,
+        on a faulted fabric, been accounted as dropped and re-sent) and
+        every buffer credit must have been returned (packet conservation).
+        On failure the error pinpoints where the stragglers are parked."""
+        inj, dlv, drp = (
+            self.packets_injected(),
+            self.packets_delivered(),
+            self.packets_dropped(),
+        )
+        if inj != dlv + drp:
+            detail = f"injected {inj}, delivered {dlv}"
+            if drp:
+                detail += f", dropped by faults {drp}"
+            raise AssertionError(f"packet loss: {detail}{self._stuck_report()}")
         for sw in self.switches:
             for port in sw.all_ports():
                 if port.backlog != 0:
-                    raise AssertionError(f"residual backlog on {port.name}")
+                    raise AssertionError(
+                        f"residual backlog on {port.name}{self._stuck_report()}"
+                    )
                 for pool in port.credits:
                     if pool.in_use > 1e-9:
-                        raise AssertionError(f"leaked credits on {port.name}")
+                        raise AssertionError(
+                            f"leaked credits on {port.name}{self._stuck_report()}"
+                        )
+        for nic in self.nics:
+            if nic.out_port.backlog != 0:
+                raise AssertionError(
+                    f"residual backlog on {nic.out_port.name}"
+                    f"{self._stuck_report()}"
+                )
+            if nic.retrans is not None and nic.retrans.outstanding:
+                raise AssertionError(
+                    f"nic {nic.node} still has unacked packets"
+                    f"{self._stuck_report()}"
+                )
 
     def host_port(self, node: int) -> OutputPort:
         """The switch egress port feeding *node* (for telemetry hooks)."""

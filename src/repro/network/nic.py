@@ -14,6 +14,16 @@ reassembles messages, fires completion callbacks, and sends the
 end-to-end ack.  Acks travel a contention-free reverse path: the paper
 notes ack overhead is ~4 bytes per forward packet, far below the level
 where reverse-direction bandwidth matters.
+
+End-to-end reliability (repro.faults): link-level retry repairs
+transient corruption, but a fail-stopped link or switch loses packets
+outright.  When a :class:`~repro.faults.FaultInjector` is attached it
+arms ``self.retrans`` — an exponential-backoff retransmission timer that
+re-injects stranded packets, with receiver-side duplicate suppression —
+preserving the paper's "lossless to the application" behaviour under
+faults.  ``retrans`` is None by default and every hook below is a single
+attribute check, so an un-faulted fabric is bit-identical to one built
+before this layer existed.
 """
 
 from __future__ import annotations
@@ -51,6 +61,7 @@ class NIC:
         "nic_lookup",
         "idle_reset_ns",
         "telem",
+        "retrans",
     )
 
     def __init__(
@@ -88,6 +99,8 @@ class NIC:
         self.idle_reset_ns = idle_reset_ns
         #: telemetry hooks (repro.telemetry); None = zero-overhead path
         self.telem = None
+        #: end-to-end reliability (repro.faults); None = zero-overhead path
+        self.retrans = None
 
     # -- send side ----------------------------------------------------------
 
@@ -139,6 +152,8 @@ class NIC:
             self.pkts_injected += 1
             if self.telem is not None:
                 self.telem.injected(pkt, state)
+            if self.retrans is not None:
+                self.retrans.on_inject(pkt, state)
             if paced:
                 # Fractional window => rate pacing: one packet per
                 # (serialization / window) interval.
@@ -148,6 +163,17 @@ class NIC:
     def _pace_fire(self, state: PairState) -> None:
         state.pace_armed = False
         self._pump(state)
+
+    def _reinject(self, pkt: Packet) -> None:
+        """Put a retransmission clone on the wire, bypassing the window
+        (the lost original still holds its in-flight slot).  Only ever
+        called by the end-to-end reliability layer (repro.faults)."""
+        pkt.inject_time = self.sim.now
+        self.bytes_injected += pkt.size
+        self.pkts_injected += 1
+        if self.telem is not None:
+            self.telem.injected(pkt, self._pair(pkt.dst))
+        self.out_port.enqueue(pkt)
 
     def _deliver_loopback(self, msg: Message) -> None:
         msg.delivered_packets = msg.npackets
@@ -176,6 +202,11 @@ class NIC:
         self.bytes_delivered += pkt.size
         self.pkts_delivered += 1
         msg = pkt.message
+        if self.retrans is not None and not self.retrans.on_deliver(pkt):
+            # Duplicate of a packet that already arrived (the "lost"
+            # original survived after all): suppress message accounting,
+            # but still ack so the sender settles this attempt too.
+            msg = None
         if msg is not None:
             msg.delivered_packets += 1
             if msg.first_arrival_time is None:
@@ -197,6 +228,8 @@ class NIC:
     # -- ack path -------------------------------------------------------------
 
     def on_ack(self, pkt: Packet) -> None:
+        if self.retrans is not None and not self.retrans.on_ack(pkt):
+            return  # ack for an attempt that was already settled
         state = self.pairs[pkt.dst]
         state.in_flight -= 1
         state.last_activity_ns = self.sim.now

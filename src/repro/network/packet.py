@@ -66,6 +66,8 @@ class Packet:
         "marked",
         "is_last",
         "traced",
+        "seq",
+        "attempt",
     )
 
     def __init__(
@@ -98,6 +100,28 @@ class Packet:
         self.marked = False
         self.is_last = is_last
         self.traced = False  # selected for telemetry span recording?
+        self.seq = 0  # position within the parent message (stable across retries)
+        self.attempt = 0  # end-to-end transmission attempt (0 = original)
+
+    def clone_for_retry(self) -> "Packet":
+        """A fresh copy for end-to-end retransmission.
+
+        The clone gets a new pid (it is a distinct wire packet) but keeps
+        the message/seq identity so the receiver can deduplicate if the
+        original turns out not to have been lost after all.
+        """
+        clone = Packet(
+            self.src,
+            self.dst,
+            self.payload,
+            tc=self.tc,
+            message=self.message,
+            header_bytes=int(self.size - self.payload),
+            is_last=self.is_last,
+        )
+        clone.seq = self.seq
+        clone.attempt = self.attempt + 1
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -156,17 +180,17 @@ class Message:
         for i in range(self.npackets):
             chunk = min(MTU_PAYLOAD, remaining) if self.nbytes > 0 else 0
             remaining -= chunk
-            pkts.append(
-                Packet(
-                    self.src,
-                    self.dst,
-                    chunk,
-                    tc=self.tc,
-                    message=self,
-                    header_bytes=header_bytes,
-                    is_last=(i == self.npackets - 1),
-                )
+            pkt = Packet(
+                self.src,
+                self.dst,
+                chunk,
+                tc=self.tc,
+                message=self,
+                header_bytes=header_bytes,
+                is_last=(i == self.npackets - 1),
             )
+            pkt.seq = i
+            pkts.append(pkt)
         return pkts
 
     @property

@@ -75,6 +75,8 @@ class OutputPort:
         "replay_latency",
         "replays",
         "_err_rng",
+        "up",
+        "pkts_dropped",
     )
 
     def __init__(
@@ -135,6 +137,10 @@ class OutputPort:
         self.replay_latency = replay_latency
         self.replays = 0
         self._err_rng = None
+        # Fault state (repro.faults): an up wire behaves exactly as before;
+        # a failed one refuses new transmissions and has dropped its queue.
+        self.up = True
+        self.pkts_dropped = 0
         if error_rate > 0.0:
             import random as _random
 
@@ -176,7 +182,7 @@ class OutputPort:
         return self.credits[tc].can_fit(pkt.vc, pkt.size)
 
     def _try_send(self) -> None:
-        if self.busy:
+        if self.busy or not self.up:
             return
         tc = self.scheduler.select(self.sim.now, self._head_size, self._eligible)
         if tc is None:
@@ -184,7 +190,7 @@ class OutputPort:
             return
         # Progress: clear the retry arming so the next blockage re-arms.
         # (A stale one-shot listener may still fire later; _retry is
-        # idempotent, so that costs one wasted select at worst.)
+        # guarded on the armed flag, so it is a no-op in that case.)
         self._retry_armed = False
         q = self.queues[tc]
         pkt = q.popleft()
@@ -232,6 +238,11 @@ class OutputPort:
             self.sim.schedule(t - self.sim.now, self._retry)
 
     def _retry(self) -> None:
+        # A one-shot listener armed before an earlier blockage cleared can
+        # fire long after the port state has moved on (the pool keeps it
+        # until the next release).  Only an *armed* port wants the wakeup.
+        if not self._retry_armed:
+            return
         self._retry_armed = False
         if not self.busy:
             self._try_send()
@@ -262,6 +273,82 @@ class OutputPort:
         self.sim.schedule(self.prop_delay, self.rx.receive, pkt, self)
         self._try_send()
 
+    # -- fault control (repro.faults) ---------------------------------------
+    #
+    # None of these is ever called on a healthy run; the only hot-path cost
+    # of the fault machinery is the ``self.up`` check in ``_try_send``.
+
+    def fail(self) -> None:
+        """Fail-stop this wire: drop every queued packet and refuse new
+        transmissions until :meth:`recover`.
+
+        A frame already in serialization is allowed to land (its delivery
+        event is committed); everything still queued is dropped, releasing
+        the upstream buffer slots the packets were holding — end-to-end
+        recovery, not link-level flow control, is responsible for them now.
+        An injection-side port (``kind == 'inject'``) instead *parks*
+        packets enqueued while down: they sit in host memory at zero cost
+        and drain on recovery.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self._retry_armed = False
+        if self.kind == "inject":
+            return  # park, don't drop: the queue is host memory
+        for tc, q in enumerate(self.queues):
+            if not q:
+                continue
+            while q:
+                self._drop_queued(q.popleft())
+            self.scheduler.reset_deficit(tc)
+
+    def _drop_queued(self, pkt) -> None:
+        self.backlog -= pkt.size
+        self.pkts_dropped += 1
+        up = pkt.arrival_port
+        if up is not None:
+            # The packet still occupied the input-buffer slot of the wire
+            # it arrived on; hand the credit back exactly as _on_sent does.
+            self.sim.schedule(
+                up.prop_delay,
+                up.credits[pkt.tc].release,
+                pkt.size,
+                pkt.arrival_vc,
+                pkt.arrival_buf_shared,
+            )
+        if self.telem is not None:
+            self.telem.dropped(pkt, self)
+
+    def recover(self) -> None:
+        """Bring a failed wire back; parked traffic resumes immediately."""
+        if self.up:
+            return
+        self.up = True
+        if not self.busy:
+            self._try_send()
+
+    def set_bandwidth(self, bandwidth: float) -> None:
+        """Degrade/restore the wire rate (affects future serializations)."""
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth = bandwidth
+        self.scheduler.set_port_bandwidth(bandwidth)
+
+    def set_error_rate(self, rate: float, seed: int = 0) -> None:
+        """Set the instantaneous frame error rate (BER storm / restore)."""
+        if not (0.0 <= rate < 1.0):
+            raise ValueError("frame_error_rate must be in [0, 1)")
+        self.error_rate = rate
+        if rate == 0.0:
+            self._err_rng = None
+        elif self._err_rng is None:
+            import random as _random
+
+            from ..sim.rng import stable_hash
+
+            self._err_rng = _random.Random(stable_hash("llr", seed, self.name))
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"OutputPort({self.name or self.kind}, backlog={self.backlog:.0f}B)"
 
@@ -286,6 +373,8 @@ class Switch:
         "ports_to_group",
         "port_to_node",
         "pkts_forwarded",
+        "pkts_dropped",
+        "up",
         "telem",
     )
 
@@ -299,6 +388,11 @@ class Switch:
         self.ports_to_group: Dict[int, List[OutputPort]] = {}
         self.port_to_node: Dict[int, OutputPort] = {}
         self.pkts_forwarded = 0
+        #: packets discarded here (dead switch, or no live route); always 0
+        #: on a healthy fabric — end-to-end recovery re-injects them
+        self.pkts_dropped = 0
+        #: fault state (repro.faults): a down switch drops every arrival
+        self.up = True
         #: telemetry hooks (repro.telemetry); None = zero-overhead path
         self.telem = None
 
@@ -314,6 +408,11 @@ class Switch:
         pkt.arrival_port = from_port
         pkt.arrival_vc = pkt.vc
         pkt.arrival_buf_shared = pkt.buf_shared
+        if not self.up:
+            # A frame that was already in flight when the switch died lands
+            # on a dead input stage and is lost (e2e recovery re-sends it).
+            self._drop(pkt)
+            return
         if self.telem is not None:
             self.telem.rx(pkt, self)
         self.sim.schedule(self.latency, self._forward, pkt)
@@ -325,7 +424,27 @@ class Switch:
         pkt.path.append(self.id)
         self.pkts_forwarded += 1
         out = self.router.route(self, pkt)
+        if out is None:
+            # No live port towards the destination (degraded fabric only:
+            # the router never returns None on a healthy topology).
+            self._drop(pkt)
+            return
         out.enqueue(pkt)
+
+    def _drop(self, pkt) -> None:
+        """Discard *pkt*, releasing the input-buffer slot it occupies."""
+        self.pkts_dropped += 1
+        up = pkt.arrival_port
+        if up is not None:
+            self.sim.schedule(
+                up.prop_delay,
+                up.credits[pkt.tc].release,
+                pkt.size,
+                pkt.arrival_vc,
+                pkt.arrival_buf_shared,
+            )
+        if self.telem is not None:
+            self.telem.dropped(pkt, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Switch(id={self.id}, group={self.group})"

@@ -31,7 +31,7 @@ from .exporters import (
     write_chrome_trace,
     write_jsonl,
 )
-from .instrument import FabricTelemetry
+from .instrument import FabricTelemetry, FaultTelemetry
 from .registry import Counter, Gauge, Histogram, TelemetryRegistry
 from .scraper import CounterScraper
 from .spans import SpanRecorder
@@ -44,6 +44,7 @@ __all__ = [
     "SpanRecorder",
     "CounterScraper",
     "FabricTelemetry",
+    "FaultTelemetry",
     "chrome_trace",
     "counters_to_csv",
     "spans_to_jsonl",

@@ -46,7 +46,8 @@ from .scraper import CounterScraper
 from .spans import SpanRecorder
 
 __all__ = ["FabricTelemetry", "PortTelemetry", "SwitchTelemetry",
-           "NicTelemetry", "RouterTelemetry", "CcTelemetry"]
+           "NicTelemetry", "RouterTelemetry", "CcTelemetry",
+           "FaultTelemetry"]
 
 
 class SwitchTelemetry:
@@ -63,6 +64,13 @@ class SwitchTelemetry:
             self.spans.record(
                 self.sim.now, pkt.pid, "switch", "switch_rx",
                 switch=sw.id, group=sw.group, hops=pkt.hops, vc=pkt.vc,
+            )
+
+    def dropped(self, pkt, sw) -> None:
+        if pkt.traced:
+            self.spans.record(
+                self.sim.now, pkt.pid, "fault", "pkt_dropped",
+                switch=sw.id, up=sw.up, hops=pkt.hops,
             )
 
 
@@ -106,6 +114,13 @@ class PortTelemetry:
             self.spans.record(
                 self.sim.now, pkt.pid, self.layer, "wire_tx",
                 port=self.port_name, bytes=pkt.size,
+            )
+
+    def dropped(self, pkt, port) -> None:
+        if pkt.traced:
+            self.spans.record(
+                self.sim.now, pkt.pid, "fault", "pkt_dropped",
+                port=self.port_name, tc=pkt.tc, hops=pkt.hops,
             )
 
 
@@ -205,6 +220,37 @@ class CcTelemetry:
         self.window_hist.observe(window_after)
 
 
+class FaultTelemetry:
+    """Counters + spans for the fault-injection subsystem (repro.faults).
+
+    Attached automatically when the fabric carries a
+    :class:`~repro.faults.FaultInjector`.  Fault events land in their own
+    ``fault`` span layer (alongside per-packet ``pkt_dropped`` events),
+    and the reliability counters are exposed as scrape-time gauges.
+    """
+
+    __slots__ = ("spans", "events")
+
+    def __init__(self, parent: "FabricTelemetry", injector):
+        reg, fabric = parent.registry, parent.fabric
+        self.spans = parent.spans
+        self.events = reg.counter("faults.events")
+        reg.gauge("faults.links_down", fn=lambda f=fabric: len(f.links_down()))
+        reg.gauge("faults.pkts_dropped", fn=fabric.packets_dropped)
+        reg.gauge("faults.retransmits", fn=injector.retransmits)
+        reg.gauge("faults.dup_pkts", fn=injector.dup_pkts)
+        reg.gauge("faults.giveups", fn=injector.giveups)
+        reg.gauge("faults.outstanding", fn=injector.outstanding)
+
+    def fault(self, now, ev, fabric) -> None:
+        self.events.inc()
+        self.spans.record(
+            now, 0, "fault", ev.action,
+            target=list(ev.target) if isinstance(ev.target, tuple) else ev.target,
+            value=ev.value, links_down=len(fabric.links_down()),
+        )
+
+
 class FabricTelemetry:
     """Unified telemetry over one fabric.
 
@@ -253,6 +299,7 @@ class FabricTelemetry:
         for sw in fabric.switches:
             base = f"switch.{sw.id}"
             reg.gauge(f"{base}.pkts_forwarded", fn=lambda s=sw: s.pkts_forwarded)
+            reg.gauge(f"{base}.pkts_dropped", fn=lambda s=sw: s.pkts_dropped)
             sw.telem = SwitchTelemetry(self, sw)
             for port in sw.all_ports():
                 self._attach_port(port, f"{base}.port.{port.name or port.kind}")
@@ -271,7 +318,15 @@ class FabricTelemetry:
             )
 
         fabric.router.telem = RouterTelemetry(self)
+        reg.gauge("router.reroutes",
+                  fn=lambda: getattr(fabric.router, "reroutes", 0))
+        reg.gauge("router.no_route",
+                  fn=lambda: getattr(fabric.router, "no_route", 0))
         fabric.cc.telem = CcTelemetry(self)
+        if fabric.fault_injector is not None:
+            fabric.fault_injector.telem = FaultTelemetry(
+                self, fabric.fault_injector
+            )
         self._attached = True
 
     def _attach_port(self, port, base: str) -> None:
@@ -280,6 +335,7 @@ class FabricTelemetry:
         reg.gauge(f"{base}.tx_bytes", fn=lambda p=port: p.bytes_sent)
         reg.gauge(f"{base}.credited_bytes", fn=lambda p=port: p.credited_bytes)
         reg.gauge(f"{base}.marks", fn=lambda p=port: p.marks_set)
+        reg.gauge(f"{base}.drops", fn=lambda p=port: p.pkts_dropped)
         port.telem = PortTelemetry(self, port)
 
     def detach(self) -> None:
@@ -296,6 +352,8 @@ class FabricTelemetry:
             nic.out_port.telem = None
         fabric.router.telem = None
         fabric.cc.telem = None
+        if fabric.fault_injector is not None:
+            fabric.fault_injector.telem = None
         if self.scraper is not None:
             self.scraper.stop()
         self._attached = False

@@ -1,0 +1,92 @@
+"""Property: any restored-by-end fault schedule drains and conserves.
+
+The recovery invariant of repro.faults: whatever sequence of link/switch
+failures, degradations and BER storms hits the fabric, as long as every
+fault is undone by the end of the schedule, the fabric drains, every
+message completes, and packet conservation
+(injected == delivered + dropped-and-resent) holds exactly.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultSchedule
+from repro.network.dragonfly import DragonflyParams
+from repro.systems import slingshot_config
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    p=st.integers(1, 2),
+    a=st.integers(2, 3),
+    g=st.integers(2, 3),
+    seed=st.integers(0, 100),
+    n_faults=st.integers(1, 4),
+)
+def test_restored_schedule_drains_and_conserves(p, a, g, seed, n_faults):
+    cfg = slingshot_config(
+        DragonflyParams(p, a, g, links_per_pair=2), seed=seed
+    )
+    fabric = cfg.build()
+    schedule = FaultSchedule.generate(
+        fabric,
+        seed=seed,
+        n_faults=n_faults,
+        t_start=5_000.0,
+        t_end=400_000.0,
+        switch_faults=seed % 2,
+    )
+    assert schedule.ends_restored
+    injector = fabric.attach_faults(
+        schedule, base_rto_ns=100_000.0, max_rto_ns=400_000.0
+    )
+    rng = random.Random(seed)
+    nn = fabric.topology.n_nodes
+    msgs = []
+    while len(msgs) < 10:
+        src, dst = rng.randrange(nn), rng.randrange(nn)
+        if src == dst:
+            continue
+        msgs.append(fabric.send(src, dst, rng.choice([8, 5000, 20_000])))
+    fabric.sim.run()
+
+    assert all(m.complete for m in msgs)
+    fabric.assert_quiescent()
+    assert (
+        fabric.packets_injected()
+        == fabric.packets_delivered() + fabric.packets_dropped()
+    )
+    assert injector.giveups() == 0
+    assert injector.outstanding() == 0
+    assert fabric.links_down() == []
+    assert not fabric.topology.degraded
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_host_link_outage_heals(seed):
+    """Even the victim's own injection wire going down only delays it."""
+    cfg = slingshot_config(
+        DragonflyParams(2, 2, 2, links_per_pair=1), seed=seed
+    )
+    fabric = cfg.build()
+    rng = random.Random(seed)
+    node = rng.randrange(fabric.topology.n_nodes)
+    from repro.faults import link_fail, link_recover
+
+    fabric.attach_faults(
+        FaultSchedule(
+            [link_fail(10_000.0, ("host", node)),
+             link_recover(600_000.0, ("host", node))]
+        ),
+        base_rto_ns=100_000.0,
+        max_rto_ns=400_000.0,
+    )
+    peer = (node + fabric.config.params.hosts_per_switch) % fabric.topology.n_nodes
+    out = fabric.send(node, peer, 20_000)
+    back = fabric.send(peer, node, 20_000)
+    fabric.sim.run()
+    assert out.complete and back.complete
+    fabric.assert_quiescent()

@@ -25,6 +25,13 @@ def test_linkspec_rejects_bad_error_rate():
         LinkSpec(1.0, 1.0, 1024, frame_error_rate=-0.1)
 
 
+def test_linkspec_rejects_negative_replay_latency():
+    with pytest.raises(ValueError, match="replay_latency_ns"):
+        LinkSpec(1.0, 1.0, 1024, replay_latency_ns=-1.0)
+    # zero is legal: an idealized instant-replay link
+    assert LinkSpec(1.0, 1.0, 1024, replay_latency_ns=0.0).replay_latency_ns == 0.0
+
+
 def test_llr_keeps_fabric_lossless():
     """Even at 5% frame error rate, every message arrives (no drops —
     errors are repaired by local replay)."""

@@ -142,6 +142,89 @@ def test_invalid_kind_rejected():
         OutputPort(sim, None, "warp", FakeRx(), 1.0, 0.0, [TrafficClass()], 1000)
 
 
+def test_stale_retry_wakeup_is_harmless():
+    """A one-shot credit listener armed before an earlier blockage cleared
+    can fire long after the port moved on; it must not double-send."""
+    sim = Simulator()
+    port, rx = make_port(sim, bandwidth=10.0, prop=0.0)
+    # Leftover listener from a blockage that already resolved: registered
+    # while the port is NOT armed (exactly what the pool keeps around).
+    port.credits[0].notify_on_release(0, port._retry)
+    p1, p2 = pkt(1000), pkt(1000)
+    port.enqueue(p1)  # starts serializing immediately
+    port.enqueue(p2)
+    # the first delivery's credit release fires the stale listener
+    sim.run()
+    assert [pid for pid, _ in rx.got] == [p1.pid, p2.pid]
+    assert port.pkts_sent == 2
+    assert port.backlog == 0
+
+
+def test_unarmed_retry_call_is_a_noop():
+    sim = Simulator()
+    port, rx = make_port(sim)
+    p = pkt(1000)
+    # queue a packet without triggering enqueue's auto-send
+    port.queues[0].append(p)
+    port.backlog += p.size
+    assert not port._retry_armed
+    port._retry()  # stale wakeup with no arming: must be ignored
+    sim.run()
+    assert rx.got == []
+    assert port.backlog == p.size
+
+
+def test_fail_drops_queue_and_recover_resumes():
+    sim = Simulator()
+    port, rx = make_port(sim, bandwidth=10.0, prop=0.0)
+    a, b, c = pkt(1000), pkt(1000), pkt(1000)
+    port.enqueue(a)  # in serialization: its delivery is committed
+    port.enqueue(b)
+    port.enqueue(c)
+    sim.schedule(10.0, port.fail)  # mid-way through a's wire time
+    sim.run()
+    # a lands (already on the wire); b and c were dropped
+    assert [pid for pid, _ in rx.got] == [a.pid]
+    assert port.pkts_dropped == 2
+    assert port.backlog == 0
+    # traffic enqueued while down parks until recovery
+    d = pkt(1000)
+    port.enqueue(d)
+    sim.run()
+    assert len(rx.got) == 1
+    port.recover()
+    sim.run()
+    assert [pid for pid, _ in rx.got] == [a.pid, d.pid]
+
+
+def test_inject_port_parks_instead_of_dropping():
+    sim = Simulator()
+    port, rx = make_port(sim, kind="inject", bandwidth=10.0, prop=0.0)
+    a, b = pkt(1000), pkt(1000)
+    port.fail()
+    port.enqueue(a)
+    port.enqueue(b)
+    sim.run()
+    assert rx.got == []
+    assert port.pkts_dropped == 0  # host memory: nothing is lost
+    assert port.backlog == 2000
+    port.recover()
+    sim.run()
+    assert [pid for pid, _ in rx.got] == [a.pid, b.pid]
+
+
+def test_set_bandwidth_rerates_the_wire():
+    sim = Simulator()
+    port, rx = make_port(sim, bandwidth=10.0, prop=0.0)
+    port.set_bandwidth(2.0)
+    p = pkt(1000)
+    port.enqueue(p)
+    sim.run()
+    assert rx.got == [(p.pid, 500.0)]  # 1000B at 2 B/ns
+    with pytest.raises(ValueError):
+        port.set_bandwidth(0.0)
+
+
 def test_congestion_score_includes_downstream_occupancy():
     sim = Simulator()
 
