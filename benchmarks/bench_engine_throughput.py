@@ -1,18 +1,26 @@
 """Engine throughput: how fast does the substrate simulate?
 
 Not a paper figure — the capacity check that bounds every other bench:
-raw event throughput of the DES core, packet throughput of the fabric,
-and the cost of one congested heatmap cell.  These numbers are what
-justify the mini-scale default (DESIGN.md §1).
+raw event throughput of the DES core, packet throughput of the fabric
+(default event-per-packet mode and opt-in burst batching), and the cost
+of one congested heatmap cell.  These numbers are what justify the
+mini-scale default (DESIGN.md §1).  Besides the human-readable tables,
+each test merges its numbers into ``results/BENCH_engine.json`` for
+machine consumption (CI trend lines, the EXPERIMENTS.md perf section).
 """
 
 import time
 
-from conftest import run_once, save_result
+from conftest import run_once, save_metrics, save_result
 from repro.analysis import render_table
 from repro.network.units import KiB, MS
 from repro.sim import Simulator
 from repro.systems import crystal_mini, malbec_mini
+
+#: pkt/s measured for the same 80-node bisection workload at the seed
+#: commit (c67e78a), before the hot-path overhaul.  The overhaul's
+#: acceptance bar is >= 1.5x this on the same machine class.
+SEED_PKT_RATE = 15_700
 
 
 def test_engine_raw_event_throughput(benchmark, report):
@@ -40,32 +48,63 @@ def test_engine_raw_event_throughput(benchmark, report):
     )
     report(table)
     save_result("engine_events", table)
+    save_metrics("raw_event_throughput", {"events_per_s": rate})
     assert rate > 100_000  # sanity floor
+
+
+def _bisection_stream(batching: bool):
+    """The 80-node bisection workload; returns rates and totals."""
+    fabric = malbec_mini().with_(burst_batching=batching).build()
+    n = fabric.topology.n_nodes
+    for i in range(n):
+        fabric.send(i, (i + n // 2) % n, 256 * KiB)
+    t0 = time.perf_counter()
+    fabric.sim.run()
+    wall = time.perf_counter() - t0
+    pkts = fabric.packets_delivered()
+    events = fabric.sim.events_processed
+    return {
+        "pkt_per_s": pkts / wall,
+        "ev_per_s": events / wall,
+        "events": events,
+        "packets": pkts,
+        "wall_s": wall,
+    }
 
 
 def test_fabric_packet_throughput(benchmark, report):
     def run():
-        fabric = malbec_mini().build()
-        n = fabric.topology.n_nodes
-        for i in range(n):
-            fabric.send(i, (i + n // 2) % n, 256 * KiB)
-        t0 = time.perf_counter()
-        fabric.sim.run()
-        wall = time.perf_counter() - t0
-        return fabric.packets_delivered() / wall, fabric.sim.events_processed / wall
+        return _bisection_stream(False), _bisection_stream(True)
 
-    pkt_rate, ev_rate = run_once(benchmark, run)
+    default, batched = run_once(benchmark, run)
     table = render_table(
-        ["metric", "value"],
+        ["metric", "default", "burst batching"],
         [
-            ["packets simulated", f"{pkt_rate:,.0f} pkt/s"],
-            ["fabric events", f"{ev_rate:,.0f} ev/s"],
+            ["packets simulated",
+             f"{default['pkt_per_s']:,.0f} pkt/s", f"{batched['pkt_per_s']:,.0f} pkt/s"],
+            ["fabric events",
+             f"{default['ev_per_s']:,.0f} ev/s", f"{batched['ev_per_s']:,.0f} ev/s"],
+            ["events total", f"{default['events']:,}", f"{batched['events']:,}"],
         ],
         title="Fabric throughput (80-node bisection stream)",
     )
     report(table)
     save_result("engine_fabric", table)
-    assert pkt_rate > 1_000
+    save_metrics(
+        "fabric_throughput",
+        {
+            "default": default,
+            "burst_batching": batched,
+            "seed_pkt_per_s": SEED_PKT_RATE,
+            "speedup_vs_seed": default["pkt_per_s"] / SEED_PKT_RATE,
+        },
+    )
+    # The hot-path overhaul's acceptance bar: >= 1.5x the seed commit's
+    # packet rate on this exact workload, without batching.
+    assert default["pkt_per_s"] > 1.5 * SEED_PKT_RATE
+    # Batching strictly removes per-packet completion events.
+    assert batched["events"] <= default["events"]
+    assert batched["packets"] == default["packets"]
 
 
 def test_congested_cell_cost(benchmark, report):
@@ -93,3 +132,4 @@ def test_congested_cell_cost(benchmark, report):
     )
     report(table)
     save_result("engine_cell_cost", table)
+    save_metrics("congested_cell_cost", {"wall_s": wall})

@@ -23,7 +23,7 @@ NODES = list(range(64))
 
 def _run_for(config):
     victims = {**app_victims(), **micro_victims()}
-    return run_heatmap(config, victims, NODES, policy="linear")
+    return run_heatmap(config, victims, NODES, policy="linear", jobs=None)
 
 
 def test_fig09_heatmap_aries(benchmark, report):

@@ -9,6 +9,8 @@ improve (Aries <= 40-43, Slingshot <= 1.5) because less traffic is
 generated and more global bandwidth is available per node.
 """
 
+from functools import partial
+
 import numpy as np
 
 from conftest import get_systems, run_once, save_result
@@ -24,14 +26,16 @@ SMALL_NODES = list(range(24))
 def _victims():
     """A small victim panel for the distribution plots."""
     return {
-        "allreduce-8B": lambda: allreduce_bench(8, iterations=6),
-        "alltoall-128K": lambda: alltoall_bench(128 * KiB, iterations=2),
-        "pingpong-8B": lambda: pingpong(8, iterations=6),
+        "allreduce-8B": partial(allreduce_bench, 8, iterations=6),
+        "alltoall-128K": partial(alltoall_bench, 128 * KiB, iterations=2),
+        "pingpong-8B": partial(pingpong, 8, iterations=6),
     }
 
 
 def _panel(config, nodes, policy, ppn):
-    _, _, values = run_heatmap(config, _victims(), nodes, policy=policy, ppn=ppn)
+    _, _, values = run_heatmap(
+        config, _victims(), nodes, policy=policy, ppn=ppn, jobs=None
+    )
     return [v for row in values for v in row]
 
 

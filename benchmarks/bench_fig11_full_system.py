@@ -9,6 +9,8 @@ aggressors stay harmless.
 Bench scale: every node of shandy-mini (96 nodes, same 8-group shape).
 """
 
+from functools import partial
+
 import numpy as np
 
 from conftest import get_systems, run_once, save_result
@@ -27,11 +29,11 @@ from repro.workloads import (
 
 def _victims():
     return {
-        "MILC": lambda: milc(iterations=3),
-        "HPCG": lambda: hpcg(iterations=3),
-        "LAMMPS": lambda: lammps(iterations=3),
-        "FFT": lambda: fft3d(iterations=3),
-        "resnet": lambda: resnet_proxy(iterations=3),
+        "MILC": partial(milc, iterations=3),
+        "HPCG": partial(hpcg, iterations=3),
+        "LAMMPS": partial(lammps, iterations=3),
+        "FFT": partial(fft3d, iterations=3),
+        "resnet": partial(resnet_proxy, iterations=3),
     }
 
 
@@ -50,7 +52,8 @@ def test_fig11_full_system_applications(benchmark, report):
 
     def run_grid():
         return run_heatmap(
-            config, _victims(), list(range(n)), policy="random", rows=_rows()
+            config, _victims(), list(range(n)), policy="random", rows=_rows(),
+            jobs=None,
         )
 
     rows, cols, values = run_once(benchmark, run_grid)

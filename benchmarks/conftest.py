@@ -12,12 +12,14 @@ to run the full-size systems (slow: hours in pure Python).
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_ENGINE_JSON = RESULTS_DIR / "BENCH_engine.json"
 
 
 def paper_scale() -> bool:
@@ -57,6 +59,23 @@ def report():
 def save_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def save_metrics(name: str, metrics: dict) -> None:
+    """Merge one bench's machine-readable numbers into BENCH_engine.json.
+
+    Read-modify-write keyed by bench name, so each bench owns its block
+    and re-runs of a single test update only that block.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    data = {}
+    if BENCH_ENGINE_JSON.exists():
+        try:
+            data = json.loads(BENCH_ENGINE_JSON.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[name] = metrics
+    BENCH_ENGINE_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def run_once(benchmark, fn):

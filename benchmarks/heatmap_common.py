@@ -1,109 +1,17 @@
 """Shared machinery for the congestion-impact figures (Figs. 8-11).
 
-Defines the victim column set (a trimmed version of the paper's Fig. 9
-columns — one small and one large message size per microbenchmark,
-every application), the aggressor rows, and the grid runner.
+The victim panels, aggressor rows, and grid runner now live in
+:mod:`repro.sweeps` (so the ``heatmap``/``allocation`` CLI subcommands
+can use them too); this module re-exports them for the benches.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
-
-from repro.network.units import KiB, MS
-from repro.workloads import (
-    TAILBENCH_APPS,
-    allreduce_bench,
-    alltoall_bench,
-    alltoall_congestor,
-    barrier_bench,
-    broadcast_bench,
-    congestion_impact,
-    fft3d,
-    halo3d,
-    hpcg,
-    incast_bench,
-    incast_congestor,
-    lammps,
-    milc,
-    pingpong,
-    resnet_proxy,
-    split_nodes,
-    sweep3d,
-    tailbench_client_server,
+from repro.sweeps import (  # noqa: F401
+    ITER,
+    MAX_NS,
+    aggressor_rows,
+    app_victims,
+    micro_victims,
+    run_heatmap,
 )
-
-MAX_NS = 400 * MS
-ITER = 6
-
-
-def app_victims() -> Dict[str, Callable]:
-    """Table I victims (HPC + datacenter), trimmed iteration counts."""
-    return {
-        "MILC": lambda: milc(iterations=3),
-        "HPCG": lambda: hpcg(iterations=3),
-        "LAMMPS": lambda: lammps(iterations=3),
-        "FFT": lambda: fft3d(iterations=3),
-        "resnet": lambda: resnet_proxy(iterations=3),
-        "silo": lambda: tailbench_client_server(TAILBENCH_APPS["silo"], n_requests=8),
-        "sphinx": lambda: tailbench_client_server(TAILBENCH_APPS["sphinx"], n_requests=4),
-        "xapian": lambda: tailbench_client_server(TAILBENCH_APPS["xapian"], n_requests=8),
-        "img-dnn": lambda: tailbench_client_server(TAILBENCH_APPS["img-dnn"], n_requests=8),
-    }
-
-
-def micro_victims() -> Dict[str, Callable]:
-    """The paper's microbenchmark columns, one small + one large size."""
-    return {
-        "pingpong-8B": lambda: pingpong(8, iterations=ITER),
-        "pingpong-128K": lambda: pingpong(128 * KiB, iterations=ITER),
-        "allreduce-8B": lambda: allreduce_bench(8, iterations=ITER),
-        "allreduce-128K": lambda: allreduce_bench(128 * KiB, iterations=4),
-        "alltoall-8B": lambda: alltoall_bench(8, iterations=ITER),
-        "alltoall-128K": lambda: alltoall_bench(128 * KiB, iterations=2),
-        "barrier": lambda: barrier_bench(iterations=ITER),
-        "bcast-8B": lambda: broadcast_bench(8, iterations=ITER),
-        "halo3d-1K": lambda: halo3d(1 * KiB, iterations=ITER),
-        "sweep3d-512B": lambda: sweep3d(512, iterations=ITER),
-        "incast-1K": lambda: incast_bench(1 * KiB, iterations=4),
-    }
-
-
-def aggressor_rows() -> List[Tuple[str, Callable, float]]:
-    """(label, congestor factory, victim fraction) — the paper's 6 rows."""
-    rows = []
-    for cong_name, cong in (("a2a", alltoall_congestor), ("incast", incast_congestor)):
-        for agg_frac, label in ((0.1, "10%"), (0.5, "50%"), (0.9, "90%")):
-            rows.append((f"{cong_name}-{label}", cong, 1.0 - agg_frac))
-    return rows
-
-
-def run_heatmap(
-    config,
-    victims: Dict[str, Callable],
-    nodes: Sequence[int],
-    policy: str = "linear",
-    ppn: int = 1,
-    rows: Sequence[Tuple[str, Callable, float]] = None,
-    seed: int = 3,
-) -> Tuple[List[str], List[str], List[List[float]]]:
-    """One Fig. 9-style heatmap: rows x victim columns of C = Tc/Ti."""
-    rows = list(rows) if rows is not None else aggressor_rows()
-    col_labels = list(victims)
-    values: List[List[float]] = []
-    for row_label, congestor_factory, victim_frac in rows:
-        n_victim = max(2, round(len(nodes) * victim_frac))
-        victim_nodes, aggressor_nodes = split_nodes(list(nodes), n_victim, policy, seed=seed)
-        row_vals = []
-        for name in col_labels:
-            result = congestion_impact(
-                config,
-                victim_nodes,
-                victims[name](),
-                aggressor_nodes,
-                congestor_factory(),
-                aggressor_ppn=ppn,
-                max_ns=MAX_NS,
-            )
-            row_vals.append(result["impact"])
-        values.append(row_vals)
-    return [r[0] for r in rows], col_labels, values

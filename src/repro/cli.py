@@ -5,6 +5,8 @@ Usage::
     python -m repro topology [--radix 64] [--hosts 16]
     python -m repro latency [--system malbec] [--size 8] ...
     python -m repro congestion [--victim allreduce8] [--aggressor incast] ...
+    python -m repro heatmap [--system malbec] [--victims micro] [--jobs 4] ...
+    python -m repro allocation [--system crystal] [--jobs 4] ...
     python -m repro qos
     python -m repro report [--system shandy]
     python -m repro trace [--system malbec] [--out trace_out] ...
@@ -12,6 +14,15 @@ Usage::
 
 Each subcommand prints a paper-style table.  This is a convenience layer
 over the same public APIs the examples use.
+
+Two global options come *before* the subcommand:
+
+* ``--profile [PATH]`` wraps the subcommand in cProfile, prints the
+  top-20 cumulative entries, and dumps pstats to PATH (default
+  ``repro.pstats``; inspect with ``python -m pstats``);
+* sweep subcommands take ``--jobs N`` to fan independent cells over a
+  process pool (0 = all cores / ``REPRO_JOBS``) with bit-identical
+  output.
 """
 
 from __future__ import annotations
@@ -145,6 +156,94 @@ def cmd_congestion(args) -> int:
     return 0
 
 
+def _jobs_arg(args) -> "int | None":
+    """``--jobs 0`` means "pick for me" (REPRO_JOBS env, else all cores)."""
+    return None if args.jobs == 0 else args.jobs
+
+
+def cmd_heatmap(args) -> int:
+    from .analysis import render_heatmap
+    from .sweeps import app_victims, micro_victims, run_heatmap
+
+    config = _get_system(args.system)()
+    n = config.params.n_nodes
+    nodes = list(range(min(n, args.nodes)))
+    victims = {
+        "micro": micro_victims,
+        "apps": app_victims,
+        "all": lambda: {**app_victims(), **micro_victims()},
+    }[args.victims]()
+    rows, cols, values = run_heatmap(
+        config,
+        victims,
+        nodes,
+        policy=args.allocation,
+        ppn=args.ppn,
+        seed=args.seed,
+        max_ns=args.budget_ms * MS,
+        jobs=_jobs_arg(args),
+    )
+    print(
+        render_heatmap(
+            rows,
+            cols,
+            values,
+            title=(
+                f"Congestion-impact heatmap — {config.name}, "
+                f"{len(nodes)} nodes, {args.allocation} allocation"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_allocation(args) -> int:
+    import numpy as np
+
+    from .sweeps import micro_victims, run_heatmap
+
+    config = _get_system(args.system)()
+    n = config.params.n_nodes
+    nodes = list(range(min(n, args.nodes)))
+    panel = {
+        k: v
+        for k, v in micro_victims().items()
+        if k in ("allreduce-8B", "alltoall-128K", "pingpong-8B")
+    }
+    out_rows = []
+    for policy in ("linear", "interleaved", "random"):
+        _, _, values = run_heatmap(
+            config,
+            panel,
+            nodes,
+            policy=policy,
+            ppn=args.ppn,
+            seed=args.seed,
+            max_ns=args.budget_ms * MS,
+            jobs=_jobs_arg(args),
+        )
+        arr = np.array([v for row in values for v in row])
+        out_rows.append(
+            [
+                policy,
+                f"{np.median(arr):.2f}",
+                f"{np.percentile(arr, 90):.2f}",
+                f"{arr.max():.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["allocation", "median C", "p90 C", "max C"],
+            out_rows,
+            title=(
+                f"Impact distribution by allocation — {config.name}, "
+                f"{len(nodes)} nodes, {args.ppn} PPN aggressor"
+            ),
+        )
+    )
+    return 0
+
+
 def cmd_qos(args) -> int:
     from .core.traffic_classes import TrafficClass
     from .flowsim import FluidBottleneck, FluidJob
@@ -247,7 +346,9 @@ def cmd_chaos(args) -> int:
     config = _get_system(args.system)()
 
     if args.curve:
-        rows = degradation_curve(config, max_ns=args.budget_ms * MS)
+        rows = degradation_curve(
+            config, max_ns=args.budget_ms * MS, jobs=_jobs_arg(args)
+        )
         print(
             render_table(
                 ["failed links", "live links", "completed", "goodput",
@@ -334,6 +435,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Slingshot-interconnect reproduction toolkit"
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="repro.pstats",
+        default=None,
+        metavar="PATH",
+        help="profile the subcommand with cProfile: print the top-20 "
+             "cumulative entries and dump pstats to PATH "
+             "(default repro.pstats; place before the subcommand)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("topology", help="dragonfly design math (Fig. 3)")
@@ -358,6 +469,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=8)
     p.add_argument("--budget-ms", type=float, default=400.0)
     p.set_defaults(fn=cmd_congestion)
+
+    p = sub.add_parser(
+        "heatmap", help="full victim-vs-aggressor impact grid (Fig. 9)"
+    )
+    p.add_argument("--system", choices=_SYSTEMS, default="malbec")
+    p.add_argument("--victims", choices=("micro", "apps", "all"), default="micro")
+    p.add_argument("--allocation", choices=("linear", "interleaved", "random"),
+                   default="linear")
+    p.add_argument("--nodes", type=int, default=64)
+    p.add_argument("--ppn", type=int, default=1)
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--budget-ms", type=float, default=400.0)
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes for the grid cells "
+                        "(0 = all cores / REPRO_JOBS)")
+    p.set_defaults(fn=cmd_heatmap)
+
+    p = sub.add_parser(
+        "allocation", help="impact distribution by allocation policy (Fig. 10)"
+    )
+    p.add_argument("--system", choices=_SYSTEMS, default="crystal")
+    p.add_argument("--nodes", type=int, default=64)
+    p.add_argument("--ppn", type=int, default=1)
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--budget-ms", type=float, default=400.0)
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes for the grid cells "
+                        "(0 = all cores / REPRO_JOBS)")
+    p.set_defaults(fn=cmd_allocation)
 
     p = sub.add_parser("qos", help="traffic-class bandwidth timeline (Fig. 14)")
     p.add_argument("--min1", type=float, default=0.8)
@@ -406,13 +546,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated-time budget")
     p.add_argument("--require-lossless", action="store_true",
                    help="exit nonzero if any traffic failed to complete")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes for the --curve k-points "
+                        "(0 = all cores / REPRO_JOBS)")
     p.set_defaults(fn=cmd_chaos)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    if args.profile is None:
+        return args.fn(args)
+
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    rc = prof.runcall(args.fn, args)
+    prof.dump_stats(args.profile)
+    stats = pstats.Stats(prof, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(20)
+    print(f"profile dumped to {args.profile} (inspect with python -m pstats)")
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

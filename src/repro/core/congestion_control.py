@@ -53,6 +53,13 @@ class PairState:
     window: float
     in_flight: int = 0
     pending: Deque = field(default_factory=deque)
+    # Lazy segmentation: submitted messages sit here as un-consumed
+    # packet generators (FIFO); `pending` holds only already-materialized
+    # packets (e.g. none in the common case).  The counters track what
+    # remains across both, so the hot path never walks either container.
+    pending_iters: Deque = field(default_factory=deque)
+    pending_count: int = 0
+    pending_bytes: float = 0.0
     next_send_ns: float = 0.0  # pacing gate (used when window < 1)
     pace_armed: bool = False  # a pacing-timer wakeup is scheduled
     last_activity_ns: float = 0.0  # last send/ack (for idle state aging)

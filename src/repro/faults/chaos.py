@@ -92,6 +92,36 @@ def chaos_run(
     }
 
 
+def _curve_cell(args):
+    """One degradation-curve point (module-level: sweep workers pickle
+    this by reference).  Returns the row dict minus ``relative``, which
+    needs the whole curve and is filled in after the gather."""
+    config, gi, gj, k, msg_bytes, max_ns = args
+    links_per_pair = config.params.links_per_pair
+    fabric = config.build()
+    lo, hi = min(gi, gj), max(gi, gj)
+    schedule = FaultSchedule(
+        [link_fail(0.0, ("global", lo, hi, i)) for i in range(k)]
+    )
+    fabric.attach_faults(schedule)
+    srcs = list(fabric.topology.nodes_in_group(gi))
+    dsts = list(fabric.topology.nodes_in_group(gj))
+    completed: List = []
+    for s, d in zip(srcs, dsts):
+        fabric.send(s, d, msg_bytes, on_complete=completed.append)
+    fabric.sim.run(until=max_ns)
+    makespan = max((m.complete_time for m in completed), default=0.0)
+    gbps = (fabric.bytes_delivered() * 8.0 / makespan) if makespan else 0.0
+    return {
+        "k_failed": k,
+        "links_live": links_per_pair - k,
+        "messages_completed": fabric.messages_completed,
+        "messages_sent": fabric.messages_sent,
+        "makespan_ns": makespan,
+        "goodput_gbps": gbps,
+    }
+
+
 def degradation_curve(
     config,
     gi: int = 0,
@@ -99,6 +129,7 @@ def degradation_curve(
     ks: Optional[List[int]] = None,
     msg_bytes: int = 256 * KiB,
     max_ns: float = 120_000_000.0,
+    jobs: Optional[int] = 1,
 ):
     """Cross-group bandwidth with k failed parallel global links.
 
@@ -110,42 +141,27 @@ def degradation_curve(
     k < links_per_pair live links left, all traffic still completes —
     only slower (roughly proportionally, once the global links are the
     bottleneck).
+
+    The k-points are independent simulations; ``jobs`` fans them out via
+    :func:`repro.parallel.run_cells` (``None`` = all cores), with rows
+    guaranteed cell-for-cell identical to a serial run.
     """
+    from ..parallel import run_cells
+
     links_per_pair = config.params.links_per_pair
     if ks is None:
         ks = list(range(links_per_pair))
-    rows = []
     for k in ks:
         if not (0 <= k < links_per_pair):
             raise ValueError(
                 f"k={k} must leave at least one of the "
                 f"{links_per_pair} parallel links alive"
             )
-        fabric = config.build()
-        lo, hi = min(gi, gj), max(gi, gj)
-        schedule = FaultSchedule(
-            [link_fail(0.0, ("global", lo, hi, i)) for i in range(k)]
-        )
-        fabric.attach_faults(schedule)
-        srcs = list(fabric.topology.nodes_in_group(gi))
-        dsts = list(fabric.topology.nodes_in_group(gj))
-        completed: List = []
-        for s, d in zip(srcs, dsts):
-            fabric.send(s, d, msg_bytes, on_complete=completed.append)
-        fabric.sim.run(until=max_ns)
-        makespan = max((m.complete_time for m in completed), default=0.0)
-        gbps = (fabric.bytes_delivered() * 8.0 / makespan) if makespan else 0.0
-        rows.append(
-            {
-                "k_failed": k,
-                "links_live": links_per_pair - k,
-                "messages_completed": fabric.messages_completed,
-                "messages_sent": fabric.messages_sent,
-                "makespan_ns": makespan,
-                "goodput_gbps": gbps,
-                "relative": 1.0 if not rows else (
-                    gbps / rows[0]["goodput_gbps"] if rows[0]["goodput_gbps"] else 0.0
-                ),
-            }
+    cells = [(config, gi, gj, k, msg_bytes, max_ns) for k in ks]
+    rows = run_cells(_curve_cell, cells, jobs=jobs)
+    base = rows[0]["goodput_gbps"] if rows else 0.0
+    for i, row in enumerate(rows):
+        row["relative"] = 1.0 if i == 0 else (
+            row["goodput_gbps"] / base if base else 0.0
         )
     return rows

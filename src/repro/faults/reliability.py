@@ -25,10 +25,11 @@ class EndToEndReliability:
     """Per-NIC retransmission timer + receiver-side deduplication.
 
     Bookkeeping is keyed ``(message id, packet sequence)``: stable across
-    retries (a clone keeps its seq) and unique across the run.  One timer
-    event is kept in flight per NIC, armed at the earliest outstanding
-    deadline — not one per packet — so the event-queue overhead stays
-    O(acks), and a superseded timer firing late is a guarded no-op.
+    retries (a clone keeps its seq) and unique across the run.  One live
+    timer is kept per NIC, armed at the earliest outstanding deadline —
+    not one per packet — and re-arming at an earlier deadline *cancels*
+    the superseded timer (O(1) lazy deletion in the engine), so the event
+    heap stays bounded by live timers even under retransmission storms.
     """
 
     __slots__ = (
@@ -45,6 +46,7 @@ class EndToEndReliability:
         "giveups",
         "_seen",
         "_timer_at",
+        "_timer",
     )
 
     def __init__(
@@ -77,6 +79,7 @@ class EndToEndReliability:
         #: receiver side: mid -> set of seqs already counted
         self._seen: Dict[int, Set[int]] = {}
         self._timer_at: Optional[float] = None
+        self._timer = None
 
     def rto(self, attempt: int) -> float:
         """Retransmission timeout for the given attempt number."""
@@ -97,6 +100,12 @@ class EndToEndReliability:
         if self.outstanding.pop((pkt.message.mid, pkt.seq), None) is None:
             self.dup_acks += 1
             return False
+        if not self.outstanding and self._timer is not None:
+            # Nothing left to watch: drop the timer instead of letting it
+            # pop through the heap as a no-op.
+            self._timer.cancel()
+            self._timer = None
+            self._timer_at = None
         return True
 
     # -- receiver side -------------------------------------------------------
@@ -115,13 +124,14 @@ class EndToEndReliability:
 
     def _arm(self, deadline: float) -> None:
         if self._timer_at is None or deadline < self._timer_at:
+            if self._timer is not None:
+                self._timer.cancel()
             self._timer_at = deadline
-            self.sim.schedule_at(deadline, self._fire, deadline)
+            self._timer = self.sim.schedule_at_cancellable(deadline, self._fire)
 
-    def _fire(self, when: float) -> None:
-        if when != self._timer_at:
-            return  # superseded or already-handled timer: no-op
+    def _fire(self) -> None:
         self._timer_at = None
+        self._timer = None
         now = self.sim.now
         expired = [k for k, e in self.outstanding.items() if e[1] <= now]
         for key in expired:

@@ -37,7 +37,7 @@ class VcBufferPool:
     thousands of stale entries under saturation).
     """
 
-    __slots__ = ("shared", "reserved", "_waiters")
+    __slots__ = ("shared", "reserved", "_waiters", "_in_use")
 
     def __init__(
         self,
@@ -53,6 +53,11 @@ class VcBufferPool:
             Credits(sim, reserve_bytes) for _ in range(n_vcs)
         ]
         self._waiters: dict = {}
+        # Maintained occupancy counter: `in_use` sits on the adaptive-
+        # routing hot path (read once per candidate port per routed
+        # packet), so it must not sum n_vcs+1 Credits objects per read.
+        # Sizes are integer-valued floats, so += / -= stays exact.
+        self._in_use: float = 0.0
 
     def can_fit(self, vc: int, size: float) -> bool:
         return (
@@ -63,13 +68,29 @@ class VcBufferPool:
         """Take buffer space for *pkt* (marks where it came from)."""
         if self.shared.try_acquire(pkt.size):
             pkt.buf_shared = True
+            self._in_use += pkt.size
             return True
         if self.reserved[pkt.vc].try_acquire(pkt.size):
             pkt.buf_shared = False
+            self._in_use += pkt.size
+            return True
+        return False
+
+    def bulk_acquire_shared(self, total: float) -> bool:
+        """Take *total* bytes from the shared region in one step.
+
+        Used by busy-period batching, which admits a whole burst only
+        when the shared pool can hold it (reserves are never tapped, so
+        per-packet ``buf_shared`` stays True exactly as the packet-at-a-
+        time path would have chosen it).
+        """
+        if self.shared.try_acquire(total):
+            self._in_use += total
             return True
         return False
 
     def release(self, size: float, vc: int, was_shared: bool) -> None:
+        self._in_use -= size
         if was_shared:
             self.shared.release(size)
         else:
@@ -85,7 +106,7 @@ class VcBufferPool:
 
     @property
     def in_use(self) -> float:
-        return self.shared.in_use + sum(r.in_use for r in self.reserved)
+        return self._in_use
 
     @property
     def total(self) -> float:

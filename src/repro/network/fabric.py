@@ -132,6 +132,17 @@ class FabricConfig:
     #: each wire its own dedicated ``LinkSpec.buffer_bytes``.
     shared_switch_buffers: bool = False
     switch_buffer_bytes: float = 256 * KiB
+    #: busy-period batching on eligible output ports: burst wire events
+    #: are computed arithmetically instead of one heap event per packet.
+    #: Per-packet timestamps are bit-identical, but pre-scheduling a
+    #: burst's events changes *same-timestamp tie ordering* against
+    #: events scheduled later by other ports, which can steer adaptive
+    #: routing differently under heavy congestion.  Off by default to
+    #: keep the bit-identity contract with earlier releases; sweeps and
+    #: benchmarks opt in for the throughput win.  (Also disabled
+    #: automatically wherever it would be observable: marking host
+    #: ports, shared pools, LLR, telemetry, fault injection.)
+    burst_batching: bool = False
     seed: int = 0
 
     def build(self, sim: Optional[Simulator] = None) -> "Fabric":
@@ -218,7 +229,7 @@ class Fabric:
         pools = None
         if self.config.shared_switch_buffers and isinstance(rx, Switch):
             pools = self._switch_pools(rx.id)
-        return OutputPort(
+        port = OutputPort(
             self.sim,
             owner,
             kind,
@@ -234,6 +245,8 @@ class Fabric:
             replay_latency=spec.replay_latency_ns,
             seed=self.config.seed,
         )
+        port.batching = self.config.burst_batching and port._batch_ok
+        return port
 
     def _register_link(self, key, kind, ports, spec, *switches) -> None:
         self.links[key] = LinkRef(key=key, kind=kind, ports=tuple(ports), spec=spec)
@@ -483,7 +496,7 @@ class Fabric:
                 port_entry(f"switch {sw.id}", port)
         for nic in self.nics:
             port_entry(f"nic {nic.node}", nic.out_port)
-            pending = sum(len(s.pending) for s in nic.pairs.values())
+            pending = sum(s.pending_count for s in nic.pairs.values())
             if pending:
                 entries.append(
                     f"  nic {nic.node}: {pending} pkts pending in host memory"

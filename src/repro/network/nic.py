@@ -125,8 +125,11 @@ class NIC:
         ):
             state.window = self.cc.initial_window()
         state.last_activity_ns = self.sim.now
-        for pkt in msg.packets(self.header_bytes):
-            state.pending.append(pkt)
+        # Lazy segmentation: park the generator, not 64 Packet objects.
+        # _pump materializes packets one by one as the window admits them.
+        state.pending_iters.append(msg.packets(self.header_bytes))
+        state.pending_count += msg.npackets
+        state.pending_bytes += msg.wire_bytes(self.header_bytes)
         self._pump(state)
 
     def _pair(self, dst: int) -> PairState:
@@ -136,16 +139,28 @@ class NIC:
             self.pairs[dst] = state
         return state
 
+    def _next_pending(self, state: PairState) -> Packet:
+        """Materialize the next queued packet (oldest message first)."""
+        if state.pending:
+            pkt = state.pending.popleft()
+        else:
+            pkt = next(state.pending_iters[0])
+            if pkt.is_last:
+                state.pending_iters.popleft()
+        state.pending_count -= 1
+        state.pending_bytes -= pkt.size
+        return pkt
+
     def _pump(self, state: PairState) -> None:
         now = self.sim.now
-        while state.pending and state.in_flight < max(state.window, 1.0):
+        while state.pending_count and state.in_flight < max(state.window, 1.0):
             paced = state.window < 1.0
             if paced and now < state.next_send_ns:
                 if not state.pace_armed:
                     state.pace_armed = True
                     self.sim.schedule(state.next_send_ns - now, self._pace_fire, state)
                 return
-            pkt = state.pending.popleft()
+            pkt = self._next_pending(state)
             state.in_flight += 1
             pkt.inject_time = now
             self.bytes_injected += pkt.size
@@ -251,9 +266,7 @@ class NIC:
 
     def queued_bytes(self) -> float:
         """Bytes waiting in host memory for window space (diagnostics)."""
-        return float(
-            sum(p.size for s in self.pairs.values() for p in s.pending)
-        )
+        return float(sum(s.pending_bytes for s in self.pairs.values()))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"NIC(node={self.node})"

@@ -9,7 +9,7 @@ ICRC 4 B = 62 B on a 4 KiB-payload packet).
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Iterator, List, Optional
 
 from .units import KiB
 
@@ -173,9 +173,16 @@ class Message:
         self.on_complete: Optional[Callable[["Message"], None]] = None
         self.meta: Any = None
 
-    def packets(self, header_bytes: int = ROCE_HEADER_BYTES) -> List[Packet]:
-        """Segment the message into MTU-sized packets."""
-        pkts: List[Packet] = []
+    def packets(self, header_bytes: int = ROCE_HEADER_BYTES) -> Iterator[Packet]:
+        """Segment the message into MTU-sized packets, lazily.
+
+        A generator: each :class:`Packet` is materialized only when the
+        NIC's window actually admits it, so a 256 KiB message no longer
+        allocates its full 64-packet list at injection.  Sequence numbers
+        and sizes are identical to the eager segmentation; only packet-id
+        *assignment order* can differ when messages interleave (pids are
+        diagnostic identity, never simulation input).
+        """
         remaining = self.nbytes
         for i in range(self.npackets):
             chunk = min(MTU_PAYLOAD, remaining) if self.nbytes > 0 else 0
@@ -190,8 +197,7 @@ class Message:
                 is_last=(i == self.npackets - 1),
             )
             pkt.seq = i
-            pkts.append(pkt)
-        return pkts
+            yield pkt
 
     @property
     def complete(self) -> bool:

@@ -28,6 +28,7 @@ fill, and any victim packet that shares one of those buffers waits.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -36,6 +37,11 @@ from ..sim import Simulator
 from .buffers import VcBufferPool
 
 __all__ = ["OutputPort", "Switch", "NUM_VCS", "VC_RESERVE_BYTES"]
+
+#: Busy-period batching: longest run of packets committed as one burst.
+#: Bounds how far ahead of "now" the port pre-schedules wire events, so
+#: congestion feedback (credit returns) still gets a word in regularly.
+MAX_BURST_PKTS = 64
 
 #: Dedicated escape buffer per VC per wire (two MTU packets).  The small
 #: per-VC reserve keeps the network deadlock-free; the big shared pool
@@ -70,6 +76,11 @@ class OutputPort:
         "name",
         "telem",
         "_retry_armed",
+        "_retry_timer",
+        "_single_tc",
+        "batching",
+        "_batch_ok",
+        "_burst",
         "on_dequeue",
         "error_rate",
         "replay_latency",
@@ -129,6 +140,28 @@ class OutputPort:
         #: telemetry hooks (repro.telemetry); None = zero-overhead path
         self.telem = None
         self._retry_armed = False
+        self._retry_timer = None
+        # With one uncapped class, arbitration is trivial (serve the head
+        # whenever credits fit) and the DRR/EWMA bookkeeping is
+        # unobservable, so _try_send bypasses the scheduler entirely.
+        self._single_tc = ntc == 1 and classes[0].max_share >= 1.0
+        # Busy-period batching eligibility.  Static disqualifiers only;
+        # the dynamic ones (telemetry attached, LLR errors, dequeue hook)
+        # are re-checked per burst.  Ports with switch-shared ingress
+        # pools are out because another wire's acquire can interleave
+        # with the burst's, and marking host ports are out because the
+        # mark decision reads the backlog at each packet's own send time.
+        self._batch_ok = (
+            self._single_tc
+            and pools is None
+            and (kind != "host" or mark_threshold == float("inf"))
+        )
+        #: master switch, set by the fabric from FabricConfig.burst_batching
+        #: (and forced off by FaultInjector.attach: fail-stop semantics
+        #: must be able to drop queued packets, not pre-committed bursts)
+        self.batching = False
+        #: in-flight burst: (starts, ends, byte_prefix) or None
+        self._burst = None
         #: optional hook fired with each dequeued packet (telemetry)
         self.on_dequeue: Optional[Callable] = None
         # Link-level reliability: transient frame errors are replayed
@@ -156,12 +189,40 @@ class OutputPort:
 
         This is the "request queue credits" congestion signal the paper
         describes (§II-A/§II-C): it sees one hop beyond the local queue.
+
+        During a burst the whole burst's credits were taken up front, so
+        packets whose serialization has not yet *started* are backed out —
+        the packet-at-a-time path would not have acquired them yet.
         """
-        return sum(pool.in_use for pool in self.credits)
+        used = 0.0
+        for pool in self.credits:
+            used += pool._in_use
+        b = self._burst
+        if b is not None:
+            starts, _ends, prefix = b
+            used -= prefix[-1] - prefix[bisect_right(starts, self.sim.now)]
+        return used
 
     def congestion_score(self) -> float:
-        """Estimated cost of routing another packet through this port."""
-        return self.backlog + self.credited_bytes
+        """Estimated cost of routing another packet through this port.
+
+        Mid-burst the stored ``backlog`` still includes packets that have
+        already finished serializing (their decrement is batched into the
+        burst-completion event), so it is corrected the same way
+        ``credited_bytes`` is — adaptive routing must see exactly what the
+        packet-at-a-time schedule would have shown.
+        """
+        used = 0.0
+        for pool in self.credits:
+            used += pool._in_use
+        b = self._burst
+        if b is None:
+            return self.backlog + used
+        starts, ends, prefix = b
+        now = self.sim.now
+        done = prefix[bisect_right(ends, now)]
+        not_started = prefix[-1] - prefix[bisect_right(starts, now)]
+        return (self.backlog - done) + (used - not_started)
 
     # -- data path ----------------------------------------------------------
 
@@ -184,16 +245,42 @@ class OutputPort:
     def _try_send(self) -> None:
         if self.busy or not self.up:
             return
-        tc = self.scheduler.select(self.sim.now, self._head_size, self._eligible)
-        if tc is None:
-            self._arm_retry()
-            return
-        # Progress: clear the retry arming so the next blockage re-arms.
-        # (A stale one-shot listener may still fire later; _retry is
-        # guarded on the armed flag, so it is a no-op in that case.)
-        self._retry_armed = False
-        q = self.queues[tc]
-        pkt = q.popleft()
+        if self._single_tc:
+            # Trivial arbitration: one uncapped class.  select() would
+            # always return 0 for a non-empty eligible queue; the DRR
+            # deficit / EWMA state it maintains is unobservable here.
+            q = self.queues[0]
+            if not q:
+                return
+            head = q[0]
+            if not self.credits[0].can_fit(head.vc, head.size):
+                self._arm_retry()
+                return
+            self._clear_retry()
+            if (
+                self.batching
+                and len(q) > 1
+                and self.telem is None
+                and self.on_dequeue is None
+                and self._err_rng is None
+                and self._try_burst()
+            ):
+                return
+            tc = 0
+            pkt = q.popleft()
+        else:
+            tc = self.scheduler.select(
+                self.sim.now, self._head_size, self._eligible
+            )
+            if tc is None:
+                self._arm_retry()
+                return
+            # Progress: clear the retry arming so the next blockage
+            # re-arms.  (A stale one-shot listener may still fire later;
+            # _retry is guarded on the armed flag, so it is a no-op.)
+            self._clear_retry()
+            q = self.queues[tc]
+            pkt = q.popleft()
         if not q:
             self.scheduler.reset_deficit(tc)
         if not self.credits[tc].acquire(pkt):
@@ -221,6 +308,82 @@ class OutputPort:
                 self.replays += 1
         self.sim.schedule(wire_time, self._on_sent, pkt)
 
+    def _try_burst(self) -> bool:
+        """Commit a back-to-back run of packets as one wire burst.
+
+        Admission is strict: the *whole* burst must fit in the shared
+        region of the downstream pool right now.  Because this port is
+        the pool's only acquirer (shared-switch-buffer ports never
+        batch), shared availability can only grow between now and any
+        packet's would-be start time — so the packet-at-a-time path
+        would have drawn every one of these packets from the shared
+        region too, with identical timing.  All wire/credit events are
+        then computed arithmetically and pushed in the same relative
+        order (and at bit-identical times) as per-packet sends, with a
+        single completion event closing the busy period.
+        """
+        pool = self.credits[0]
+        shared = pool.shared
+        if shared._waiters:
+            return False
+        q = self.queues[0]
+        avail = shared.available
+        total = 0  # stays int for integer packet sizes, like bytes_sent
+        count = 0
+        for pkt in q:
+            if count >= MAX_BURST_PKTS:
+                break
+            if total + pkt.size > avail:
+                break
+            total += pkt.size
+            count += 1
+        if count < 2:
+            return False
+        pool.bulk_acquire_shared(total)
+        sim = self.sim
+        schedule_abs = sim.schedule_abs
+        bw = self.bandwidth
+        prop = self.prop_delay
+        rx_receive = self.rx.receive
+        # Per-packet event times, with exactly the float arithmetic the
+        # per-packet path performs (end_i = end_{i-1} + size_i / bw).
+        starts: List[float] = []
+        ends: List[float] = []
+        prefix: List[float] = [0.0]
+        t = sim.now
+        acc = 0.0
+        for _ in range(count):
+            pkt = q.popleft()
+            starts.append(t)
+            t = t + pkt.size / bw
+            ends.append(t)
+            acc += pkt.size
+            prefix.append(acc)
+            pkt.buf_shared = True
+            up = pkt.arrival_port
+            if up is not None:
+                schedule_abs(
+                    ends[-1] + up.prop_delay,
+                    up.credits[pkt.tc].release,
+                    pkt.size,
+                    pkt.arrival_vc,
+                    pkt.arrival_buf_shared,
+                )
+            pkt.prop_sum += prop
+            schedule_abs(ends[-1] + prop, rx_receive, pkt, self)
+        self.busy = True
+        self._burst = (starts, ends, prefix)
+        schedule_abs(ends[-1], self._on_burst_done, total, count)
+        return True
+
+    def _on_burst_done(self, total: float, count: int) -> None:
+        self.busy = False
+        self._burst = None
+        self.backlog -= total
+        self.bytes_sent += total
+        self.pkts_sent += count
+        self._try_send()
+
     def _arm_retry(self) -> None:
         """Wake up when credits return or a rate cap unblocks."""
         if self._retry_armed:
@@ -233,9 +396,21 @@ class OutputPort:
         if not pending:
             return
         self._retry_armed = True
+        if self._single_tc:
+            return  # an uncapped class is never token-bucket blocked
         t = self.scheduler.earliest_uncap_time(self.sim.now, self._head_size)
         if t is not None and t > self.sim.now:
-            self.sim.schedule(t - self.sim.now, self._retry)
+            self._retry_timer = self.sim.schedule_cancellable(
+                t - self.sim.now, self._retry
+            )
+
+    def _clear_retry(self) -> None:
+        """Progress was made: disarm, cancelling any uncap-time timer so
+        it never pops through the heap as a stale no-op."""
+        self._retry_armed = False
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
 
     def _retry(self) -> None:
         # A one-shot listener armed before an earlier blockage cleared can
@@ -243,7 +418,7 @@ class OutputPort:
         # until the next release).  Only an *armed* port wants the wakeup.
         if not self._retry_armed:
             return
-        self._retry_armed = False
+        self._clear_retry()
         if not self.busy:
             self._try_send()
 

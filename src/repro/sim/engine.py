@@ -7,6 +7,15 @@ simulated time always fire in the order they were scheduled, regardless of
 Python hash randomization or heap internals.  Determinism is a hard
 requirement here — the property-based tests compare runs event-for-event.
 
+Cancellable timers use *lazy deletion*: :meth:`Simulator.schedule_cancellable`
+returns a :class:`TimerHandle` whose O(1) :meth:`~TimerHandle.cancel` blanks
+the handler; the run loop discards blanked entries without dispatching them
+(they do not count as processed events).  When dead entries ever make up
+more than half the heap it is compacted in one O(n) pass, so the queue
+stays proportional to the number of *live* timers no matter how often
+producers re-arm — retransmission storms used to grow the heap
+superlinearly through superseded one-shot timers.
+
 Time is measured in **nanoseconds** (floats), sizes in **bytes**, and
 bandwidths in **bytes per nanosecond** (so 200 Gb/s == 25 B/ns).  These
 units are used consistently across the whole package; see
@@ -19,11 +28,51 @@ import heapq
 import time
 from typing import Any, Callable, List, Optional
 
-__all__ = ["Simulator", "Event", "StopSimulation"]
+__all__ = ["Simulator", "Event", "StopSimulation", "TimerHandle"]
+
+#: Absolute-time deltas smaller than this are float drift, not user error:
+#: repeated ``now + rto`` style arithmetic can land an attoseconds-stale
+#: deadline.  ``schedule_at`` clamps these to "now" instead of raising.
+_NEGATIVE_DRIFT_NS = 1e-6
 
 
 class StopSimulation(Exception):
     """Raised internally to stop :meth:`Simulator.run` early."""
+
+
+class TimerHandle:
+    """A scheduled callback that can be cancelled in O(1).
+
+    Returned by :meth:`Simulator.schedule_cancellable` /
+    :meth:`Simulator.schedule_at_cancellable`.  ``cancel()`` blanks the
+    handler; the heap entry stays behind (lazy deletion) and is skipped —
+    without being dispatched or counted — when it reaches the top.
+    The run loop blanks the handle at dispatch, so cancelling after the
+    timer fired, or twice, is a safe no-op (and ``cancelled`` reads True
+    once the timer can no longer fire, for either reason).
+    """
+
+    __slots__ = ("fn", "args", "sim")
+
+    def __init__(self, sim: "Simulator", fn: Callable, args: tuple):
+        self.sim = sim
+        self.fn: Optional[Callable] = fn
+        self.args = args
+
+    @property
+    def cancelled(self) -> bool:
+        return self.fn is None
+
+    def cancel(self) -> None:
+        if self.fn is None:
+            return
+        self.fn = None
+        self.args = ()
+        sim = self.sim
+        sim._dead += 1
+        # Amortized heap hygiene: rebuild once dead entries dominate.
+        if sim._dead > 64 and sim._dead * 2 > len(sim._queue):
+            sim._compact()
 
 
 class Event:
@@ -125,6 +174,8 @@ class Simulator:
         self._seq: int = 0
         self._events_processed: int = 0
         self._stopped = False
+        #: cancelled-but-unpopped heap entries (lazy deletion bookkeeping)
+        self._dead: int = 0
         # event-loop diagnostics for the telemetry scraper: how the last
         # run() call performed in *wall-clock* terms (pure observation;
         # never feeds back into simulated behaviour)
@@ -141,8 +192,73 @@ class Simulator:
         heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
 
     def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
-        """Run ``fn(*args)`` at absolute simulated time *when*."""
-        self.schedule(when - self.now, fn, *args)
+        """Run ``fn(*args)`` at absolute simulated time *when*.
+
+        Sub-nanosecond *negative* deltas are float drift from repeated
+        ``now + delta`` arithmetic (e.g. retransmission deadlines) and are
+        clamped to "now"; genuinely past times still raise.
+        """
+        delay = when - self.now
+        if delay < 0.0:
+            if delay < -_NEGATIVE_DRIFT_NS:
+                raise ValueError(
+                    f"cannot schedule in the past (delay={delay})"
+                )
+            delay = 0.0
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+
+    def schedule_abs(self, when: float, fn: Callable, *args: Any) -> None:
+        """Like :meth:`schedule_at`, but enqueues at *exactly* ``when``.
+
+        ``schedule_at`` computes ``now + (when - now)``, which need not
+        round-trip in floating point.  Burst batching precomputes event
+        times arithmetically and needs them bit-exact on the heap.
+        """
+        if when < self.now:
+            if when < self.now - _NEGATIVE_DRIFT_NS:
+                raise ValueError(
+                    f"cannot schedule in the past (when={when} < now={self.now})"
+                )
+            when = self.now
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, fn, args))
+
+    def schedule_cancellable(
+        self, delay: float, fn: Callable, *args: Any
+    ) -> TimerHandle:
+        """Like :meth:`schedule`, returning a cancellable :class:`TimerHandle`."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        handle = TimerHandle(self, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, None, handle))
+        return handle
+
+    def schedule_at_cancellable(
+        self, when: float, fn: Callable, *args: Any
+    ) -> TimerHandle:
+        """Cancellable :meth:`schedule_at` (same drift clamping)."""
+        delay = when - self.now
+        if delay < 0.0:
+            if delay < -_NEGATIVE_DRIFT_NS:
+                raise ValueError(
+                    f"cannot schedule in the past (delay={delay})"
+                )
+            delay = 0.0
+        handle = TimerHandle(self, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, None, handle))
+        return handle
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (keys unchanged, so live
+        event ordering is preserved exactly)."""
+        self._queue = [
+            e for e in self._queue if e[2] is not None or e[3].fn is not None
+        ]
+        heapq.heapify(self._queue)
+        self._dead = 0
 
     def event(self) -> Event:
         return Event(self)
@@ -168,19 +284,49 @@ class Simulator:
         self._stopped = False
         wall_start = time.perf_counter()
         events_before = self._events_processed
+        # Hot loop: locals for the heap and its pop, the `until` test
+        # hoisted into a dedicated loop, and a dispatch-free fast skip for
+        # cancelled timers.  Two counters stay on `self` because handlers
+        # observe them mid-run (telemetry scrapers read events_processed).
         queue = self._queue
-        while queue:
-            t, _seq, fn, args = queue[0]
-            if until is not None and t > until:
-                break
-            heapq.heappop(queue)
-            self.now = t
-            self._events_processed += 1
-            try:
-                fn(*args)
-            except StopSimulation:
-                self._stopped = True
-                break
+        pop = heapq.heappop
+        try:
+            if until is None:
+                while queue:
+                    t, _seq, fn, args = pop(queue)
+                    if fn is None:  # cancellable entry: args is the handle
+                        handle = args
+                        fn = handle.fn
+                        if fn is None:  # cancelled — skip, uncounted
+                            self._dead -= 1
+                            continue
+                        args = handle.args
+                        # Blank at dispatch so a late cancel() is a true
+                        # no-op instead of corrupting _dead accounting.
+                        handle.fn = None
+                        handle.args = ()
+                    self.now = t
+                    self._events_processed += 1
+                    fn(*args)
+            else:
+                while queue:
+                    if queue[0][0] > until:
+                        break
+                    t, _seq, fn, args = pop(queue)
+                    if fn is None:
+                        handle = args
+                        fn = handle.fn
+                        if fn is None:
+                            self._dead -= 1
+                            continue
+                        args = handle.args
+                        handle.fn = None
+                        handle.args = ()
+                    self.now = t
+                    self._events_processed += 1
+                    fn(*args)
+        except StopSimulation:
+            self._stopped = True
         self.last_run_wall_s = time.perf_counter() - wall_start
         self.last_run_events = self._events_processed - events_before
         if until is not None and not self._stopped and self.now < until:
@@ -196,7 +342,13 @@ class Simulator:
 
     @property
     def queue_length(self) -> int:
+        """Pending heap entries, *including* cancelled-but-unpopped ones."""
         return len(self._queue)
+
+    @property
+    def live_queue_length(self) -> int:
+        """Pending entries that will actually dispatch."""
+        return len(self._queue) - self._dead
 
     @property
     def events_per_wall_second(self) -> float:

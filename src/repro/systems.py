@@ -93,8 +93,9 @@ def aries_config(
         shared_switch_buffers=True,
         switch_buffer_bytes=256 * KiB,
         # Aries adaptive routing is similar in spirit (§III-A); reuse the
-        # same router.
-        router_factory=lambda topo, seed: AdaptiveRouter(topo, seed),
+        # same router.  (The class itself, not a lambda: configs must be
+        # picklable so repro.parallel can ship them to sweep workers.)
+        router_factory=AdaptiveRouter,
         mark_threshold=float("inf"),  # nothing consumes marks anyway
     )
     return cfg.with_(**overrides) if overrides else cfg

@@ -1,4 +1,9 @@
-"""Tests for packet/message segmentation and overhead math."""
+"""Tests for packet/message segmentation and overhead math.
+
+``Message.packets()`` is a lazy generator (packets materialize as the
+NIC window admits them); these tests list()-ify where they need random
+access.
+"""
 
 import pytest
 from hypothesis import given
@@ -22,7 +27,7 @@ def test_mtu_is_4kib():
 def test_small_message_is_one_packet():
     msg = Message(0, 1, 8)
     assert msg.npackets == 1
-    pkts = msg.packets()
+    pkts = list(msg.packets())
     assert len(pkts) == 1
     assert pkts[0].payload == 8
     assert pkts[0].size == 8 + 62
@@ -32,8 +37,8 @@ def test_small_message_is_one_packet():
 def test_zero_byte_message_still_sends_one_packet():
     msg = Message(0, 1, 0)
     assert msg.npackets == 1
-    assert msg.packets()[0].payload == 0
-    assert msg.packets()[0].size == 62
+    assert next(msg.packets()).payload == 0
+    assert next(msg.packets()).size == 62
 
 
 def test_exact_mtu_message():
@@ -44,7 +49,7 @@ def test_exact_mtu_message():
 def test_mtu_plus_one_splits():
     msg = Message(0, 1, MTU_PAYLOAD + 1)
     assert msg.npackets == 2
-    pkts = msg.packets()
+    pkts = list(msg.packets())
     assert pkts[0].payload == MTU_PAYLOAD
     assert pkts[1].payload == 1
     assert not pkts[0].is_last
@@ -67,7 +72,7 @@ def test_negative_size_rejected():
 
 
 def test_packet_ids_unique():
-    pkts = Message(0, 1, 10 * MTU_PAYLOAD).packets()
+    pkts = list(Message(0, 1, 10 * MTU_PAYLOAD).packets())
     assert len({p.pid for p in pkts}) == len(pkts)
 
 
@@ -82,7 +87,7 @@ def test_packets_carry_tc_and_message_backref():
 @given(st.integers(0, 10 * MTU_PAYLOAD))
 def test_segmentation_conserves_bytes(n):
     msg = Message(0, 1, n)
-    pkts = msg.packets()
+    pkts = list(msg.packets())
     assert sum(p.payload for p in pkts) == n
     assert len(pkts) == msg.npackets
     assert sum(1 for p in pkts if p.is_last) == 1
@@ -94,6 +99,6 @@ def test_segmentation_conserves_bytes(n):
 @given(st.integers(0, 10 * MTU_PAYLOAD), st.integers(0, 200))
 def test_custom_header_bytes(n, hdr):
     msg = Message(0, 1, n)
-    pkts = msg.packets(header_bytes=hdr)
+    pkts = list(msg.packets(header_bytes=hdr))
     assert all(p.size == p.payload + hdr for p in pkts)
     assert msg.wire_bytes(header_bytes=hdr) == n + msg.npackets * hdr

@@ -1,0 +1,81 @@
+"""The parallel sweep runner must be invisible in the results.
+
+``repro.parallel.run_cells`` fans independent simulation cells over a
+process pool; its whole contract is that *jobs* never changes a value:
+cells carry everything they need, per-cell seeds come from the cell's
+identity, and ``Pool.map`` preserves order.  These tests pin serial ==
+parallel cell-for-cell on the two real consumers (the Fig. 9 heatmap
+grid and the chaos degradation curve) plus the runner's edge cases.
+
+The container may have a single core — the pool still runs with
+``jobs=2`` worker processes, which is exactly what the determinism
+claim must survive.
+"""
+
+import os
+
+import pytest
+
+from repro.faults import degradation_curve
+from repro.parallel import cell_seed, default_jobs, run_cells
+from repro.sweeps import aggressor_rows, micro_victims, run_heatmap
+from repro.systems import malbec_mini
+
+
+def _square(x):
+    return x * x
+
+
+def test_run_cells_matches_serial_map():
+    cells = list(range(7))
+    assert run_cells(_square, cells, jobs=1) == [_square(c) for c in cells]
+    assert run_cells(_square, cells, jobs=3) == [_square(c) for c in cells]
+
+
+def test_run_cells_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        run_cells(_square, [1, 2], jobs=0)
+
+
+def test_run_cells_falls_back_to_serial_for_closures():
+    # Lambdas can't pickle; the runner silently degrades to in-process.
+    got = run_cells(lambda x: x + 1, [1, 2, 3], jobs=2)
+    assert got == [2, 3, 4]
+
+
+def test_cell_seed_is_stable_and_distinct():
+    assert cell_seed("heatmap", 0, 0) == cell_seed("heatmap", 0, 0)
+    assert cell_seed("heatmap", 0, 0) != cell_seed("heatmap", 0, 1)
+
+
+def test_default_jobs_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert default_jobs() == 3
+    monkeypatch.setenv("REPRO_JOBS", "zero")
+    with pytest.raises(ValueError):
+        default_jobs()
+    monkeypatch.delenv("REPRO_JOBS")
+    assert default_jobs() == (os.cpu_count() or 1)
+
+
+def test_heatmap_serial_equals_parallel():
+    victims = {
+        k: f
+        for k, f in micro_victims().items()
+        if k in ("pingpong-8B", "barrier")
+    }
+    rows = aggressor_rows()[:2]
+    cfg = malbec_mini()
+    nodes = list(range(16))
+    serial = run_heatmap(cfg, victims, nodes, rows=rows, max_ns=40e6, jobs=1)
+    fanned = run_heatmap(cfg, victims, nodes, rows=rows, max_ns=40e6, jobs=2)
+    assert serial == fanned  # labels and every grid value, bit for bit
+
+
+def test_degradation_curve_serial_equals_parallel():
+    cfg = malbec_mini()
+    serial = degradation_curve(cfg, ks=[0, 1], max_ns=20e6, jobs=1)
+    fanned = degradation_curve(cfg, ks=[0, 1], max_ns=20e6, jobs=2)
+    assert serial == fanned
+    assert serial[0]["relative"] == 1.0
+    assert all(r["messages_completed"] == r["messages_sent"] for r in serial)

@@ -1,0 +1,153 @@
+"""Cancellable timers: the lazy-deletion contract.
+
+The hot-path overhaul replaced "schedule a fresh one-shot and ignore the
+stale one" timer idioms (NIC retransmission deadlines, output-port retry
+polls) with O(1)-cancellable handles.  The contract under test:
+
+* a cancelled timer never fires and is never counted as a processed
+  event;
+* live timers fire in exactly the order (time, then insertion) they
+  would without any cancellations interleaved;
+* the heap stays proportional to the number of *live* timers — re-arming
+  producers (retransmission storms) no longer grow it without bound;
+* ``cancel()`` after firing, or twice, is a no-op even for the
+  ``_dead`` bookkeeping.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.units import KiB
+from repro.sim import Simulator
+from repro.systems import malbec_mini
+
+
+# -- property: cancellation is invisible to the survivors ---------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    cancel_seed=st.integers(min_value=0, max_value=2**31),
+    cancel_frac=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_cancelled_timers_never_fire_and_survivors_keep_order(
+    delays, cancel_seed, cancel_frac
+):
+    rng = random.Random(cancel_seed)
+    sim = Simulator()
+    fired = []
+    handles = [
+        (i, sim.schedule_cancellable(d, lambda i=i: fired.append(i)))
+        for i, d in enumerate(delays)
+    ]
+    cancelled = {i for i, h in handles if rng.random() < cancel_frac}
+    for i, h in handles:
+        if i in cancelled:
+            h.cancel()
+    events_before = sim.events_processed
+    sim.run()
+
+    assert not (set(fired) & cancelled)
+    # Survivors fire in (time, insertion-seq) order — identical to a run
+    # where the cancelled timers were never scheduled at all.
+    expected = [
+        i
+        for i, _d in sorted(
+            ((i, d) for i, d in enumerate(delays) if i not in cancelled),
+            key=lambda p: (p[1], p[0]),
+        )
+    ]
+    assert fired == expected
+    # Cancelled entries are skipped, not processed.
+    assert sim.events_processed - events_before == len(expected)
+    assert sim.live_queue_length == 0
+
+
+def test_cancel_is_idempotent_and_safe_after_fire():
+    sim = Simulator()
+    fired = []
+    h1 = sim.schedule_cancellable(1.0, fired.append, "a")
+    h2 = sim.schedule_cancellable(2.0, fired.append, "b")
+    h2.cancel()
+    h2.cancel()  # double-cancel: no effect, no double _dead count
+    assert sim.live_queue_length == 1
+    sim.run()
+    assert fired == ["a"]
+    assert h1.cancelled  # fired => can no longer fire
+    h1.cancel()  # cancel after fire: no-op
+    h1.cancel()
+    assert sim.queue_length == 0
+    assert sim.live_queue_length == 0  # _dead bookkeeping untouched
+
+
+def test_heap_compaction_bounds_rearming_producers():
+    """The retransmission-storm shape: one producer re-arms its deadline
+    thousands of times.  The heap must track live timers, not history."""
+    sim = Simulator()
+    handle = None
+    for _ in range(5_000):
+        if handle is not None:
+            handle.cancel()
+        handle = sim.schedule_cancellable(10_000.0, lambda: None)
+    assert sim.live_queue_length == 1
+    # Lazy deletion + amortized compaction: at most ~64 dead entries ride
+    # along before a rebuild, so 5000 re-arms leave O(1) entries, not O(n).
+    assert sim.queue_length <= 130
+    sim.run()
+    assert sim.queue_length == 0
+
+
+def test_schedule_at_clamps_subnanosecond_drift():
+    sim = Simulator()
+    sim.schedule(100.0, lambda: None)
+    sim.run()
+    assert sim.now == 100.0
+    fired = []
+    # Float drift: repeated now+rto arithmetic can land attoseconds in
+    # the past.  Clamped to "now", not an error.
+    sim.schedule_at(sim.now - 1e-9, fired.append, "drift")
+    sim.schedule_at_cancellable(sim.now - 1e-9, fired.append, "drift2")
+    sim.run()
+    assert fired == ["drift", "drift2"]
+    # A genuinely past time is still a bug worth raising on.
+    try:
+        sim.schedule_at(sim.now - 1.0, fired.append, "past")
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("schedule_at accepted a 1ns-stale deadline")
+
+
+def test_retransmission_timers_do_not_accumulate():
+    """NIC retransmission deadlines are one live timer per NIC, however
+    much traffic flows.  (Pre-overhaul, every earlier-deadline re-arm
+    leaked a stale heap entry until it expired.)"""
+    fabric = malbec_mini().build()
+    fabric.attach_faults()  # reliability timers armed, no faults
+    rng = random.Random(11)
+    n = fabric.topology.n_nodes
+    peak = 0
+    sent = 0
+    while sent < 60:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b:
+            continue
+        fabric.send(a, b, rng.choice([4 * KiB, 64 * KiB]))
+        sent += 1
+        fabric.sim.run(until=fabric.sim.now + 50_000.0)
+        peak = max(peak, fabric.sim.queue_length)
+    fabric.sim.run()
+    # The fabric quiesces completely: no stranded timers, live or dead.
+    assert fabric.sim.live_queue_length == 0
+    fabric.assert_quiescent()
+    # Peak heap size reflects in-flight traffic, not cumulative re-arms
+    # (60 messages x up to 16 pkts each would dwarf this if stale
+    # deadline timers accumulated).
+    assert peak < 2_000
