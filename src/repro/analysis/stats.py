@@ -18,13 +18,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
-from scipy import stats as sps
 
 __all__ = [
     "median_ci",
     "ci_converged",
     "RepetitionController",
     "summarize",
+    "percentile",
+    "percentiles",
     "quartile_whiskers",
 ]
 
@@ -33,17 +34,28 @@ def median_ci(samples: Sequence[float], confidence: float = 0.95) -> Tuple[float
     """Nonparametric confidence interval of the median.
 
     Uses the binomial order-statistic construction: the CI is
-    [x_(l), x_(u)] with l, u chosen so the coverage is >= *confidence*.
+    [x_(l), x_(u)] where l is the largest 1-based rank with
+    P(Binom(n, 1/2) < l) <= alpha/2 and u = n + 1 - l, so the coverage
+    P(x_(l) <= median <= x_(u)) is >= *confidence*.
+
+    The order statistics are 1-based; ``ppf`` returns the 1-based rank
+    l directly, so the 0-based array index is ``l - 1`` (the symmetric
+    upper rank n + 1 - l lands at 0-based index ``n - l``).
     """
+    from scipy import stats as sps  # deferred: scipy is a dev-only dep
+
     x = np.sort(np.asarray(samples, dtype=float))
     n = x.size
+    if n == 0:
+        raise ValueError("median_ci needs at least one sample")
     if n < 3:
         return float(x[0]), float(x[-1])
-    # Smallest symmetric pair of order statistics with enough coverage.
-    lo = int(sps.binom.ppf((1 - confidence) / 2, n, 0.5))
-    hi = int(sps.binom.isf((1 - confidence) / 2, n, 0.5))
-    lo = max(0, lo)
-    hi = min(n - 1, hi)
+    # ppf(a/2) is the smallest k with P(X <= k) >= a/2, hence
+    # P(X <= k-1) < a/2: taking l = k as the 1-based lower rank keeps
+    # P(median < x_(l)) = P(X <= l-1) below a/2 on each tail.
+    l = int(sps.binom.ppf((1 - confidence) / 2, n, 0.5))
+    lo = max(0, l - 1)
+    hi = min(n - 1, n - l)
     return float(x[lo]), float(x[hi])
 
 
@@ -114,6 +126,22 @@ def summarize(samples: Sequence[float]) -> Dict[str, float]:
         "p99": float(np.percentile(a, 99)),
         "std": float(a.std(ddof=1)) if a.size > 1 else 0.0,
     }
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Single percentile (numpy linear interpolation), as a float."""
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+def percentiles(
+    samples: Sequence[float], qs: Sequence[float] = (50, 95, 99)
+) -> Dict[float, float]:
+    """Several percentiles at once; NaN-filled when *samples* is empty."""
+    a = np.asarray(samples, dtype=float)
+    if a.size == 0:
+        return {q: float("nan") for q in qs}
+    vals = np.percentile(a, list(qs))
+    return {q: float(v) for q, v in zip(qs, vals)}
 
 
 def quartile_whiskers(samples: Sequence[float]) -> Dict[str, float]:

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..network.fabric import Fabric
+from .stats import percentiles as _percentiles
 
 __all__ = ["MessageRecord", "MessageTracer"]
 
@@ -125,10 +126,7 @@ class MessageTracer:
         return np.array([r.latency_ns for r in rows])
 
     def percentiles(self, qs=(50, 95, 99), distance: Optional[int] = None) -> Dict[int, float]:
-        lat = self.latencies(distance)
-        if lat.size == 0:
-            return {q: float("nan") for q in qs}
-        return {q: float(np.percentile(lat, q)) for q in qs}
+        return _percentiles(self.latencies(distance), qs)
 
     def by_distance(self) -> Dict[int, Dict[int, float]]:
         """Fig. 4-style summary: latency percentiles per distance class."""

@@ -11,6 +11,7 @@ Usage::
     python -m repro report [--system shandy]
     python -m repro trace [--system malbec] [--out trace_out] ...
     python -m repro chaos [--system shandy] [--faults 3] [--curve] ...
+    python -m repro validate [--lint] [--determinism] [--audit] ...
 
 Each subcommand prints a paper-style table.  This is a convenience layer
 over the same public APIs the examples use.
@@ -273,9 +274,11 @@ def cmd_qos(args) -> int:
 def cmd_report(args) -> int:
     import random
 
+    from .sim.rng import stable_hash
+
     config = _get_system(args.system)()
     fabric = config.build()
-    rng = random.Random(args.seed)
+    rng = random.Random(stable_hash("cli-report", args.seed))
     n = fabric.topology.n_nodes
     for _ in range(args.messages):
         a, b = rng.randrange(n), rng.randrange(n)
@@ -289,6 +292,7 @@ def cmd_report(args) -> int:
 def cmd_trace(args) -> int:
     import random
 
+    from .sim.rng import stable_hash
     from .telemetry import FabricTelemetry
 
     if not (0.0 <= args.sample_rate <= 1.0):
@@ -301,7 +305,7 @@ def cmd_trace(args) -> int:
         scrape_interval_ns=args.scrape_interval_us * 1000.0,
         seed=args.seed,
     )
-    rng = random.Random(args.seed)
+    rng = random.Random(stable_hash("cli-trace", args.seed))
     n = fabric.topology.n_nodes
     if args.pattern == "incast":
         # Everyone hammers node 0: generates deep last-hop VOQs, ECN
@@ -431,6 +435,54 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_validate(args) -> int:
+    import os
+
+    from .validate import bisection_scenario, determinism_diff, lint_paths
+
+    # no selector flags -> run every pass
+    run_all = not (args.lint or args.determinism or args.audit)
+    failures = 0
+
+    if args.lint or run_all:
+        paths = args.paths or [os.path.join(os.path.dirname(__file__))]
+        issues = lint_paths(paths)
+        for issue in issues:
+            print(issue.render())
+        label = ", ".join(paths)
+        if issues:
+            print(f"lint: {len(issues)} issue(s) in {label}")
+            failures += 1
+        else:
+            print(f"lint: clean ({label})")
+
+    if args.determinism or run_all:
+        report = determinism_diff(
+            bisection_scenario(args.system, nbytes=4 * KiB, seed=args.seed)
+        )
+        print(f"determinism: {report.render()}")
+        if not report.identical:
+            failures += 1
+
+    if args.audit or run_all:
+        fabric = bisection_scenario(args.system, seed=args.seed)()
+        auditor = fabric.attach_auditor()
+        fabric.sim.run()
+        violations = auditor.final_check()
+        if violations:
+            for v in violations:
+                print(v.render())
+            print(f"audit: {len(violations)} violation(s)")
+            failures += 1
+        else:
+            print(
+                f"audit: clean ({args.system} bisection, "
+                f"{fabric.packets_delivered()} pkts, {auditor.sweeps} sweeps)"
+            )
+
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Slingshot-interconnect reproduction toolkit"
@@ -550,6 +602,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the --curve k-points "
                         "(0 = all cores / REPRO_JOBS)")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "validate",
+        help="correctness checks: source lint, determinism diff, "
+             "invariant-audited run",
+    )
+    p.add_argument("--lint", action="store_true",
+                   help="run only the AST lint pass")
+    p.add_argument("--determinism", action="store_true",
+                   help="run only the dual-run determinism diff")
+    p.add_argument("--audit", action="store_true",
+                   help="run only the invariant-audited bisection run")
+    p.add_argument("--system", choices=_SYSTEMS, default="malbec",
+                   help="mini-system for the determinism/audit scenarios")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: the installed "
+                        "repro package)")
+    p.set_defaults(fn=cmd_validate)
     return parser
 
 

@@ -32,6 +32,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..sim.rng import stable_hash
+
 __all__ = ["TileGeometry", "RosettaModel", "CROSSBAR_KINDS"]
 
 #: The five physically separate crossbars (§II-A).
@@ -136,7 +138,7 @@ class RosettaModel:
         self.geometry = geometry
         self.stages = stages
         self.jitter_ns = jitter_ns
-        self._rng = np.random.default_rng(seed)
+        self._rng = np.random.default_rng(stable_hash("rosetta", seed))
 
     # -- structure ------------------------------------------------------------
 

@@ -96,6 +96,11 @@ class FaultInjector:
         self.applied.append((self.sim.now, ev))
         if self.telem is not None:
             self.telem.fault(self.sim.now, ev, f)
+        if f.auditor is not None:
+            # Health-mask mutations must leave every layer consistent;
+            # sweeping right at the mutation point catches a desync at
+            # the exact fault tick instead of the next periodic sweep.
+            f.auditor.on_fault(self.sim.now, ev)
 
     # -- aggregate reliability statistics -----------------------------------
 

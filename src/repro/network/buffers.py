@@ -111,3 +111,15 @@ class VcBufferPool:
     @property
     def total(self) -> float:
         return self.shared.total + sum(r.total for r in self.reserved)
+
+    def occupancy_breakdown(self) -> tuple:
+        """``(maintained, recomputed)`` occupancy in bytes.
+
+        *maintained* is the O(1) ``_in_use`` counter the routing hot
+        path reads; *recomputed* re-derives the same quantity from the
+        underlying Credits objects.  The invariant auditor
+        (repro.validate) cross-checks the two — any drift means a
+        credit was acquired or released without the counter update.
+        """
+        recomputed = self.shared.in_use + sum(r.in_use for r in self.reserved)
+        return self._in_use, recomputed

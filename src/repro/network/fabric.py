@@ -198,6 +198,8 @@ class Fabric:
         self.messages_completed = 0
         #: the attached FaultInjector, if any (set by repro.faults)
         self.fault_injector = None
+        #: the attached InvariantAuditor, if any (set by repro.validate)
+        self.auditor = None
         #: links a fail_switch() brought down, per switch (for restore)
         self._switch_downed: Dict[int, List[tuple]] = {}
 
@@ -365,6 +367,20 @@ class Fabric:
         from ..faults import FaultInjector
 
         return FaultInjector(self, schedule, **kwargs)
+
+    def attach_auditor(self, **kwargs):
+        """Attach the runtime invariant auditor to this fabric.
+
+        Convenience wrapper over
+        :class:`repro.validate.InvariantAuditor`; see that class for the
+        keyword arguments (``sweep_interval_ns``, ``checkers``,
+        ``raise_on_violation`` …).  Without this call the fabric runs
+        with zero auditing overhead and is bit-identical to an
+        audit-unaware build.
+        """
+        from ..validate import InvariantAuditor
+
+        return InvariantAuditor(self, **kwargs)
 
     # -- fault control (repro.faults) ---------------------------------------------
     #

@@ -61,6 +61,7 @@ class NIC:
         "nic_lookup",
         "idle_reset_ns",
         "telem",
+        "audit",
         "retrans",
     )
 
@@ -99,6 +100,8 @@ class NIC:
         self.idle_reset_ns = idle_reset_ns
         #: telemetry hooks (repro.telemetry); None = zero-overhead path
         self.telem = None
+        #: invariant auditor (repro.validate); None = zero-overhead path
+        self.audit = None
         #: end-to-end reliability (repro.faults); None = zero-overhead path
         self.retrans = None
 
@@ -167,6 +170,8 @@ class NIC:
             self.pkts_injected += 1
             if self.telem is not None:
                 self.telem.injected(pkt, state)
+            if self.audit is not None:
+                self.audit.on_injected(self, pkt)
             if self.retrans is not None:
                 self.retrans.on_inject(pkt, state)
             if paced:
@@ -188,6 +193,8 @@ class NIC:
         self.pkts_injected += 1
         if self.telem is not None:
             self.telem.injected(pkt, self._pair(pkt.dst))
+        if self.audit is not None:
+            self.audit.on_injected(self, pkt)
         self.out_port.enqueue(pkt)
 
     def _deliver_loopback(self, msg: Message) -> None:
@@ -234,6 +241,8 @@ class NIC:
                     self.on_message(msg)
         if self.telem is not None:
             self.telem.delivered(pkt, msg)
+        if self.audit is not None:
+            self.audit.on_delivered(self, pkt)
         # End-to-end ack back to the source (contention-free reverse path:
         # wire propagation both ways + switch pipelines + NIC overhead).
         src_nic = self.nic_lookup(pkt.src)

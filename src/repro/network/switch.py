@@ -75,6 +75,7 @@ class OutputPort:
         "marks_set",
         "name",
         "telem",
+        "audit",
         "_retry_armed",
         "_retry_timer",
         "_single_tc",
@@ -139,6 +140,8 @@ class OutputPort:
         self.name = name
         #: telemetry hooks (repro.telemetry); None = zero-overhead path
         self.telem = None
+        #: invariant auditor (repro.validate); None = zero-overhead path
+        self.audit = None
         self._retry_armed = False
         self._retry_timer = None
         # With one uncapped class, arbitration is trivial (serve the head
@@ -261,6 +264,7 @@ class OutputPort:
                 self.batching
                 and len(q) > 1
                 and self.telem is None
+                and self.audit is None
                 and self.on_dequeue is None
                 and self._err_rng is None
                 and self._try_burst()
@@ -429,6 +433,8 @@ class OutputPort:
         self.pkts_sent += 1
         if self.telem is not None:
             self.telem.wire_tx(pkt, self)
+        if self.audit is not None:
+            self.audit.on_wire_tx(self, pkt)
         # The packet has physically left the owner: return the credit for
         # the upstream buffer slot it occupied (credit flies back over the
         # upstream wire).

@@ -181,6 +181,10 @@ class Simulator:
         # never feeds back into simulated behaviour)
         self.last_run_events: int = 0
         self.last_run_wall_s: float = 0.0
+        #: per-event observer ``hook(t, fn, args)`` (repro.validate's
+        #: determinism differ); None routes run() to the unhooked hot
+        #: loop, so a hookless run pays nothing per event
+        self.event_hook: Optional[Callable] = None
 
     # -- scheduling -------------------------------------------------------
 
@@ -281,6 +285,8 @@ class Simulator:
         When *until* is given, ``now`` is advanced to exactly *until* even
         if the queue drains earlier, matching SimPy semantics.
         """
+        if self.event_hook is not None:
+            return self._run_hooked(until)
         self._stopped = False
         wall_start = time.perf_counter()
         events_before = self._events_processed
@@ -325,6 +331,44 @@ class Simulator:
                     self.now = t
                     self._events_processed += 1
                     fn(*args)
+        except StopSimulation:
+            self._stopped = True
+        self.last_run_wall_s = time.perf_counter() - wall_start
+        self.last_run_events = self._events_processed - events_before
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
+
+    def _run_hooked(self, until: Optional[float] = None) -> None:
+        """:meth:`run` variant taken when :attr:`event_hook` is set.
+
+        A separate loop keeps the default hot path byte-for-byte
+        untouched; dispatch order, timestamps, and event accounting are
+        identical — the hook observes each event just before it fires.
+        """
+        self._stopped = False
+        wall_start = time.perf_counter()
+        events_before = self._events_processed
+        queue = self._queue
+        pop = heapq.heappop
+        hook = self.event_hook
+        try:
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    break
+                t, _seq, fn, args = pop(queue)
+                if fn is None:
+                    handle = args
+                    fn = handle.fn
+                    if fn is None:
+                        self._dead -= 1
+                        continue
+                    args = handle.args
+                    handle.fn = None
+                    handle.args = ()
+                self.now = t
+                self._events_processed += 1
+                hook(t, fn, args)
+                fn(*args)
         except StopSimulation:
             self._stopped = True
         self.last_run_wall_s = time.perf_counter() - wall_start

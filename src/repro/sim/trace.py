@@ -37,7 +37,12 @@ class SeriesRecorder:
 
 
 class TallyRecorder:
-    """Scalar observations with summary statistics."""
+    """Scalar observations with summary statistics.
+
+    Quantile math is delegated to :mod:`repro.analysis.stats` (imported
+    lazily — the sim layer must not load the analysis layer at import
+    time) so every summary in the package shares one implementation.
+    """
 
     __slots__ = ("samples",)
 
@@ -54,26 +59,23 @@ class TallyRecorder:
         return float(np.mean(self.samples))
 
     def median(self) -> float:
-        return float(np.median(self.samples))
+        return self.percentile(50)
 
     def percentile(self, q: float) -> float:
-        return float(np.percentile(self.samples, q))
+        from ..analysis.stats import percentile
+
+        return percentile(self.samples, q)
 
     def quartiles(self) -> Tuple[float, float, float]:
-        q1, q2, q3 = np.percentile(self.samples, [25, 50, 75])
-        return float(q1), float(q2), float(q3)
+        from ..analysis.stats import percentiles
+
+        p = percentiles(self.samples, (25, 50, 75))
+        return p[25], p[50], p[75]
 
     def summary(self) -> Dict[str, float]:
-        a = np.asarray(self.samples)
-        return {
-            "n": int(a.size),
-            "mean": float(a.mean()),
-            "median": float(np.median(a)),
-            "min": float(a.min()),
-            "max": float(a.max()),
-            "p95": float(np.percentile(a, 95)),
-            "p99": float(np.percentile(a, 99)),
-        }
+        from ..analysis.stats import summarize
+
+        return summarize(self.samples)
 
 
 class RateMeter:

@@ -133,20 +133,35 @@ class Histogram:
         return left, left * r
 
     def percentile(self, q: float) -> float:
-        """Approximate percentile from bin midpoints (geometric mean)."""
+        """Approximate percentile from bin midpoints (geometric mean).
+
+        Cumulative semantics: the answer is the first *occupied* bin
+        whose running count reaches ``n * q / 100`` — empty bins never
+        advance the cumulative count, so they can neither satisfy the
+        target nor push the answer to a later bin.  ``q <= 0`` and
+        ``q >= 100`` clamp to the observed extremes, and interior
+        midpoints are clamped into ``[vmin, vmax]`` so a percentile
+        never lies outside the observed range.
+        """
         if self.n == 0:
             return math.nan
+        if q <= 0.0:
+            return self.vmin
+        if q >= 100.0:
+            return self.vmax
         target = self.n * q / 100.0
         seen = 0
         for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
             seen += c
-            if seen >= target and c:
+            if seen >= target:
                 if i == 0:
                     return self.vmin
                 if i == len(self.counts) - 1:
                     return self.vmax
                 left, right = self._bin_edges(i)
-                return math.sqrt(left * right)
+                return min(max(math.sqrt(left * right), self.vmin), self.vmax)
         return self.vmax
 
     def mean(self) -> float:

@@ -1,0 +1,345 @@
+"""Correctness lint: AST checks for the repo's determinism conventions.
+
+Three rules, each encoding a convention the simulator's reproducibility
+depends on (and each added after the corresponding bug class actually
+appeared in the tree):
+
+* ``rng-domain`` — every RNG must be seeded through a
+  ``stable_hash(...)`` (or numpy ``SeedSequence``) expression, never
+  from a raw seed or unseeded.  A raw ``random.Random(seed)`` makes two
+  components constructed with the same user seed share one stream, so
+  adding a draw in one silently reorders the other (the pre-fix
+  ``repro report`` / ``repro trace`` bug).
+* ``wall-clock`` — no ``time.time()`` / ``datetime.now()`` &c. in
+  simulator code; simulated time comes from ``sim.now``.
+  ``time.perf_counter`` is explicitly allowed: it is the designated
+  wall-duration diagnostic (events/sec reporting) and never feeds
+  simulation state.
+* ``mutable-default`` — no list/dict/set literals (or bare
+  ``list()``/``dict()``/``set()`` calls) as function parameter
+  defaults; one shared instance across calls is a classic source of
+  state leaking between supposedly independent runs.
+
+False positives are silenced in place with a same-line pragma::
+
+    t0 = time.time()  # lint: allow-wall-clock
+
+Run via ``python -m repro validate --lint`` (CI does, over ``src/``).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["LintIssue", "lint_file", "lint_paths", "RULES"]
+
+RULES = ("rng-domain", "wall-clock", "mutable-default")
+
+#: wall-clock attribute names that are forbidden on a ``time`` module
+#: alias (``perf_counter``/``perf_counter_ns`` deliberately absent)
+_TIME_FORBIDDEN = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "clock",
+}
+#: forbidden constructors on a ``datetime.datetime`` class reference
+_DATETIME_FORBIDDEN = {"now", "utcnow", "today"}
+#: call names that bless an RNG seed expression when they appear
+#: anywhere inside it
+_SEED_BLESSINGS = {"stable_hash", "SeedSequence"}
+
+
+@dataclass
+class LintIssue:
+    """One finding: where, which rule, and what to do about it."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+def _pragma_allows(source_line: str, rule: str) -> bool:
+    return f"lint: allow-{rule}" in source_line
+
+
+class _Aliases:
+    """Tracks what the module's imports bind RNG/clock names to."""
+
+    def __init__(self):
+        self.time_modules: Set[str] = set()  # ``import time as t`` -> {"t"}
+        self.time_funcs: Dict[str, str] = {}  # ``from time import time as now``
+        self.datetime_modules: Set[str] = set()  # ``import datetime``
+        self.datetime_classes: Set[str] = set()  # ``from datetime import datetime``
+        self.random_modules: Set[str] = set()  # ``import random as r``
+        self.random_ctors: Set[str] = set()  # ``from random import Random``
+        self.numpy_random_modules: Set[str] = set()  # ``import numpy.random as nr``
+        self.numpy_modules: Set[str] = set()  # ``import numpy as np``
+        self.numpy_ctors: Set[str] = set()  # ``from numpy.random import default_rng``
+
+    def visit_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self.time_modules.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_modules.add(bound)
+            elif alias.name == "random":
+                self.random_modules.add(bound)
+            elif alias.name == "numpy.random":
+                # ``import numpy.random`` binds ``numpy``; with an
+                # asname it binds the submodule directly
+                if alias.asname:
+                    self.numpy_random_modules.add(alias.asname)
+                else:
+                    self.numpy_modules.add("numpy")
+            elif alias.name == "numpy":
+                self.numpy_modules.add(bound)
+
+    def visit_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIME_FORBIDDEN:
+                    self.time_funcs[alias.asname or alias.name] = alias.name
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name == "datetime":
+                    self.datetime_classes.add(alias.asname or alias.name)
+        elif node.module == "random":
+            for alias in node.names:
+                if alias.name in ("Random", "SystemRandom"):
+                    self.random_ctors.add(alias.asname or alias.name)
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name in ("default_rng", "RandomState"):
+                    self.numpy_ctors.add(alias.asname or alias.name)
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.numpy_random_modules.add(alias.asname or alias.name)
+
+
+def _contains_blessing(node: ast.AST) -> bool:
+    """Does any sub-expression call stable_hash / SeedSequence?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            fn = sub.func
+            name = fn.id if isinstance(fn, ast.Name) else (
+                fn.attr if isinstance(fn, ast.Attribute) else None
+            )
+            if name in _SEED_BLESSINGS:
+                return True
+    return False
+
+
+def _is_mutable_literal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("list", "dict", "set"):
+            return node.func.id
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: List[str]):
+        self.path = path
+        self.lines = source_lines
+        self.aliases = _Aliases()
+        self.issues: List[LintIssue] = []
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _line(self, node: ast.AST) -> str:
+        idx = getattr(node, "lineno", 1) - 1
+        return self.lines[idx] if 0 <= idx < len(self.lines) else ""
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        if _pragma_allows(self._line(node), rule):
+            return
+        self.issues.append(
+            LintIssue(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.aliases.visit_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.aliases.visit_import_from(node)
+        self.generic_visit(node)
+
+    # -- rng-domain / wall-clock (both live on Call nodes) --------------------
+
+    def _call_target(self, node: ast.Call) -> Tuple[Optional[str], Optional[str]]:
+        """(base name, attr) for x.y(...) calls, (name, None) for y(...)."""
+        fn = node.func
+        if isinstance(fn, ast.Name):
+            return fn.id, None
+        if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+            return fn.value.id, fn.attr
+        # numpy.random.default_rng(...) — Attribute on Attribute
+        if (
+            isinstance(fn, ast.Attribute)
+            and isinstance(fn.value, ast.Attribute)
+            and isinstance(fn.value.value, ast.Name)
+        ):
+            base, mid = fn.value.value.id, fn.value.attr
+            if base in self.aliases.numpy_modules and mid == "random":
+                return "<numpy.random>", fn.attr
+            if base in self.aliases.datetime_modules and mid == "datetime":
+                return "<datetime.datetime>", fn.attr
+        return None, None
+
+    def _check_rng(self, node: ast.Call) -> None:
+        base, attr = self._call_target(node)
+        a = self.aliases
+        ctor = None
+        if attr is None:
+            if base in a.random_ctors:
+                ctor = f"random.{base}"
+            elif base in a.numpy_ctors:
+                ctor = f"numpy.random.{base}"
+        else:
+            if base in a.random_modules and attr in ("Random", "SystemRandom"):
+                ctor = f"random.{attr}"
+            elif (
+                base in a.numpy_random_modules or base == "<numpy.random>"
+            ) and attr in ("default_rng", "RandomState"):
+                ctor = f"numpy.random.{attr}"
+        if ctor is None:
+            return
+        if not node.args and not node.keywords:
+            self._report(
+                node,
+                "rng-domain",
+                f"{ctor}() constructed without a seed — draws depend on "
+                f"process state; seed it via stable_hash(...)",
+            )
+            return
+        if not any(_contains_blessing(arg) for arg in node.args) and not any(
+            _contains_blessing(kw.value) for kw in node.keywords
+        ):
+            self._report(
+                node,
+                "rng-domain",
+                f"{ctor} seeded without stable_hash(...): raw seeds make "
+                f"independent components share one stream; derive a "
+                f"domain-separated substream instead",
+            )
+
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        base, attr = self._call_target(node)
+        a = self.aliases
+        called = None
+        if attr is None:
+            if base in a.time_funcs:
+                called = f"time.{a.time_funcs[base]}"
+        else:
+            if base in a.time_modules and attr in _TIME_FORBIDDEN:
+                called = f"time.{attr}"
+            elif (
+                base in a.datetime_classes or base == "<datetime.datetime>"
+            ) and attr in _DATETIME_FORBIDDEN:
+                called = f"datetime.{attr}"
+        if called is not None:
+            self._report(
+                node,
+                "wall-clock",
+                f"{called}() reads the wall clock — simulation code must "
+                f"use sim.now (time.perf_counter is the allowed "
+                f"wall-duration diagnostic)",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_rng(node)
+        self._check_wall_clock(node)
+        self.generic_visit(node)
+
+    # -- mutable-default ------------------------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            kind = _is_mutable_literal(default)
+            if kind is not None:
+                self._report(
+                    default,
+                    "mutable-default",
+                    f"mutable default argument ({kind}) in {node.name}(): "
+                    f"one instance is shared across every call; default to "
+                    f"None and construct inside",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
+    """Lint python *source* text; *path* only labels the findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintIssue(
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule="syntax",
+                message=f"could not parse: {exc.msg}",
+            )
+        ]
+    linter = _Linter(path, source.splitlines())
+    linter.visit(tree)
+    linter.issues.sort(key=lambda i: (i.line, i.col, i.rule))
+    return linter.issues
+
+
+def lint_file(path: str) -> List[LintIssue]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return lint_source(fh.read(), path)
+
+
+def lint_paths(paths: Iterable[str]) -> List[LintIssue]:
+    """Lint every ``.py`` file in *paths* (files or directory trees)."""
+    issues: List[LintIssue] = []
+    for root in paths:
+        if os.path.isfile(root):
+            issues.extend(lint_file(root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in ("__pycache__", ".git")
+            )
+            for fname in sorted(filenames):
+                if fname.endswith(".py"):
+                    issues.extend(lint_file(os.path.join(dirpath, fname)))
+    return issues

@@ -15,6 +15,8 @@ from __future__ import annotations
 import random
 from typing import List, Sequence, Tuple
 
+from ..sim.rng import stable_hash
+
 __all__ = ["split_nodes", "ALLOCATION_POLICIES"]
 
 ALLOCATION_POLICIES = ("linear", "interleaved", "random")
@@ -50,7 +52,7 @@ def split_nodes(
                 aggressor.append(node)
         return victim, aggressor
     if policy == "random":
-        rng = random.Random(seed)
+        rng = random.Random(stable_hash("allocation-split", seed))
         shuffled = nodes[:]
         rng.shuffle(shuffled)
         return sorted(shuffled[:n_victim]), sorted(shuffled[n_victim:])

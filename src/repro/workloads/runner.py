@@ -22,6 +22,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.stats import percentile as _percentile
+from ..analysis.stats import summarize
 from ..mpi import MpiWorld
 from ..network.fabric import Fabric, FabricConfig
 from ..sim import AllOf, StopSimulation
@@ -44,10 +46,13 @@ class WorkloadResult:
         return float(np.mean(self.iteration_times))
 
     def median(self) -> float:
-        return float(np.median(self.iteration_times))
+        return self.percentile(50)
 
     def percentile(self, q: float) -> float:
-        return float(np.percentile(self.iteration_times, q))
+        return _percentile(self.iteration_times, q)
+
+    def summary(self) -> Dict[str, float]:
+        return summarize(self.iteration_times)
 
 
 def run_workload(

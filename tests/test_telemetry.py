@@ -86,6 +86,41 @@ def test_histogram_under_and_overflow():
     assert math.isnan(Histogram("empty").percentile(50))
 
 
+def test_histogram_percentile_single_sample_exact_for_all_q():
+    # One observation: every percentile IS that observation.  The
+    # pre-fix code returned a bin midpoint (off by up to half a bin) and
+    # q=100 never reached the vmax clamp.
+    h = Histogram("one", lo=10.0, hi=1e6, bins_per_decade=8)
+    h.observe(137.0)
+    for q in (0, 1, 25, 50, 75, 99, 100):
+        assert h.percentile(q) == pytest.approx(137.0)
+
+
+def test_histogram_percentile_extreme_q_clamps():
+    h = Histogram("clamp", lo=10.0, hi=1e6, bins_per_decade=8)
+    for v in [15.0, 200.0, 3000.0, 50_000.0]:
+        h.observe(v)
+    # q=0 must be the smallest observation even though the underflow
+    # bin (counts[0]) is empty — the pre-fix cumulative walk skipped
+    # empty bins with `if not c` *before* testing the target.
+    assert h.percentile(0) == 15.0
+    assert h.percentile(100) == 50_000.0
+    assert h.percentile(-5) == 15.0  # clamped, not an error
+    assert h.percentile(250) == 50_000.0
+
+
+def test_histogram_percentile_cumulative_semantics():
+    # 100 observations in one low bin, 1 in a high bin: p50 must come
+    # from the crowded bin, p100 from the top one.
+    h = Histogram("cum", lo=10.0, hi=1e6, bins_per_decade=8)
+    for _ in range(100):
+        h.observe(20.0)
+    h.observe(100_000.0)
+    assert h.percentile(50) == pytest.approx(20.0, rel=0.2)
+    assert h.percentile(100) == 100_000.0
+    assert h.percentile(50) <= h.percentile(99) <= h.percentile(100)
+
+
 # -- spans --------------------------------------------------------------------
 
 

@@ -1,0 +1,113 @@
+"""Tests for the determinism differ (repro.validate.differ)."""
+
+import pytest
+
+from repro.network.units import KiB
+from repro.systems import malbec_mini
+from repro.validate import (
+    DivergenceReport,
+    EventTrace,
+    bisection_scenario,
+    determinism_diff,
+)
+
+
+def test_identical_runs_fingerprint_identically():
+    report = determinism_diff(bisection_scenario("malbec", nbytes=4 * KiB))
+    assert report.identical
+    assert report.fingerprints[0] == report.fingerprints[1]
+    assert report.events[0] == report.events[1] > 0
+    assert report.first_divergence is None
+    assert report.telemetry_diff == {}
+    assert "deterministic" in report.render()
+
+
+def test_pid_normalization_hides_global_counters():
+    # Packet/message ids are process-global, so the second run's packets
+    # carry different raw pids even when the simulation is perfectly
+    # deterministic.  Identical fingerprints prove EventTrace normalizes
+    # them — without that, every dual-run diff would be pure noise.
+    def scenario():
+        fabric = malbec_mini().build()
+        fabric.send(0, 40, 16 * KiB)
+        fabric.send(1, 41, 16 * KiB)
+        return fabric
+
+    report = determinism_diff(scenario, telemetry=False)
+    assert report.identical
+
+
+def test_divergent_scenario_is_localized():
+    # A deliberately nondeterministic scenario: shared mutable state
+    # across builds changes the second run's traffic.
+    state = {"calls": 0}
+
+    def scenario():
+        fabric = malbec_mini().build()
+        state["calls"] += 1
+        fabric.send(0, 40, 16 * KiB)
+        if state["calls"] > 1:  # extra message only on the second run
+            fabric.send(1, 41, 16 * KiB)
+        return fabric
+
+    report = determinism_diff(scenario, telemetry=False)
+    assert not report.identical
+    assert report.fingerprints[0] != report.fingerprints[1]
+    assert report.first_divergence is not None
+    ctx_a, ctx_b = report.context
+    assert any(">>" in row for row in ctx_a)
+    assert any(">>" in row for row in ctx_b)
+    text = report.render()
+    assert "NON-DETERMINISTIC" in text
+    assert "first divergent event" in text
+
+
+def test_telemetry_diff_reports_diverging_counters():
+    state = {"calls": 0}
+
+    def scenario():
+        fabric = malbec_mini().build()
+        state["calls"] += 1
+        # same event *count* per message but different payloads: the
+        # final byte counters must catch it even where labels agree
+        nbytes = 4 * KiB if state["calls"] == 1 else 2 * KiB
+        fabric.send(0, 40, nbytes)
+        return fabric
+
+    report = determinism_diff(scenario)
+    assert not report.identical
+    assert report.telemetry_diff  # some byte counter differs
+    assert all(
+        "wall" not in name for name in report.telemetry_diff
+    )  # wall-clock diagnostics excluded
+
+
+def test_event_trace_labels_are_stable_and_bounded():
+    trace = EventTrace(max_events=3)
+    for i in range(5):
+        trace(float(i), lambda: None, ())
+    assert len(trace) == 3
+    assert trace.truncated
+    # labels for plain scalars and None
+    assert trace.label(lambda x: x, (1, "a", None)) .endswith("(1, 'a', None)")
+
+
+def test_bisection_scenario_unknown_system_rejected():
+    with pytest.raises(ValueError):
+        bisection_scenario("unobtainium")
+
+
+def test_bisection_scenario_builds_full_shuffle():
+    fabric = bisection_scenario("malbec", nbytes=8)()
+    assert fabric.messages_sent == len(fabric.nics)
+
+
+def test_render_on_empty_divergence_report():
+    report = DivergenceReport(
+        identical=False,
+        events=(3, 3),
+        fingerprints=("a" * 64, "b" * 64),
+        telemetry_diff={"x": (1.0, 2.0)},
+    )
+    text = report.render()
+    assert "x" in text and "1.0" in text and "2.0" in text

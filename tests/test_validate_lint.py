@@ -1,0 +1,150 @@
+"""Tests for the correctness lint (repro.validate.lint)."""
+
+import os
+
+import pytest
+
+from repro.validate import LintIssue, lint_file, lint_paths, lint_source
+
+
+def _rules(source):
+    return [i.rule for i in lint_source(source)]
+
+
+# -- rng-domain ---------------------------------------------------------------
+
+
+def test_raw_seed_flagged():
+    src = "import random\nrng = random.Random(seed)\n"
+    assert _rules(src) == ["rng-domain"]
+
+
+def test_unseeded_rng_flagged():
+    src = "from random import Random\nrng = Random()\n"
+    assert _rules(src) == ["rng-domain"]
+
+
+def test_stable_hash_seed_is_blessed():
+    src = (
+        "import random\nfrom repro.sim.rng import stable_hash\n"
+        "rng = random.Random(stable_hash('domain', seed))\n"
+    )
+    assert _rules(src) == []
+
+
+def test_numpy_default_rng_variants():
+    flagged = "import numpy as np\ng = np.random.default_rng(3)\n"
+    assert _rules(flagged) == ["rng-domain"]
+    blessed = (
+        "import numpy as np\n"
+        "g = np.random.default_rng(np.random.SeedSequence([1, 2]))\n"
+    )
+    assert _rules(blessed) == []
+    aliased = "from numpy.random import default_rng\ng = default_rng(7)\n"
+    assert _rules(aliased) == ["rng-domain"]
+
+
+def test_import_aliases_tracked():
+    src = "import random as r\nrng = r.Random(42)\n"
+    assert _rules(src) == ["rng-domain"]
+    src = "from random import Random as R\nrng = R(42)\n"
+    assert _rules(src) == ["rng-domain"]
+
+
+def test_pre_fix_cli_pattern_is_flagged():
+    # The exact shape this PR fixed in cli.py: a subcommand seeding its
+    # RNG directly from args.seed.
+    src = (
+        "import random\n"
+        "def cmd_report(args):\n"
+        "    rng = random.Random(args.seed)\n"
+        "    return rng.random()\n"
+    )
+    issues = lint_source(src, "cli.py")
+    assert len(issues) == 1
+    assert issues[0].rule == "rng-domain"
+    assert issues[0].line == 3
+
+
+# -- wall-clock ---------------------------------------------------------------
+
+
+def test_wall_clock_calls_flagged():
+    assert _rules("import time\nt = time.time()\n") == ["wall-clock"]
+    assert _rules("import time\nt = time.monotonic()\n") == ["wall-clock"]
+    assert _rules("from time import time\nt = time()\n") == ["wall-clock"]
+    assert _rules(
+        "from datetime import datetime\nd = datetime.now()\n"
+    ) == ["wall-clock"]
+    assert _rules("import datetime\nd = datetime.datetime.utcnow()\n") == [
+        "wall-clock"
+    ]
+
+
+def test_perf_counter_is_allowed():
+    # the designated wall-duration diagnostic (events/sec reporting)
+    assert _rules("import time\nt = time.perf_counter()\n") == []
+    assert _rules("import time\nt = time.perf_counter_ns()\n") == []
+
+
+# -- mutable-default ----------------------------------------------------------
+
+
+def test_mutable_defaults_flagged():
+    assert _rules("def f(xs=[]):\n    pass\n") == ["mutable-default"]
+    assert _rules("def f(m={}):\n    pass\n") == ["mutable-default"]
+    assert _rules("def f(s=set()):\n    pass\n") == ["mutable-default"]
+    assert _rules("def f(xs=list()):\n    pass\n") == ["mutable-default"]
+    assert _rules("def f(*, xs=[]):\n    pass\n") == ["mutable-default"]
+
+
+def test_immutable_defaults_pass():
+    assert _rules("def f(x=None, y=3, z=(1, 2), s='a'):\n    pass\n") == []
+
+
+# -- pragmas and plumbing -----------------------------------------------------
+
+
+def test_pragma_suppresses_on_same_line():
+    src = "import time\nt = time.time()  # lint: allow-wall-clock\n"
+    assert _rules(src) == []
+    # a pragma for one rule does not silence another
+    src = (
+        "import random\n"
+        "rng = random.Random(3)  # lint: allow-wall-clock\n"
+    )
+    assert _rules(src) == ["rng-domain"]
+
+
+def test_syntax_error_reported_not_raised():
+    issues = lint_source("def f(:\n", "broken.py")
+    assert len(issues) == 1
+    assert issues[0].rule == "syntax"
+
+
+def test_issue_render_format():
+    issue = LintIssue("x.py", 3, 7, "rng-domain", "msg")
+    assert issue.render() == "x.py:3:7: [rng-domain] msg"
+
+
+def test_lint_paths_walks_tree(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    sub = tmp_path / "pkg"
+    sub.mkdir()
+    bad = sub / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    issues = lint_paths([str(tmp_path)])
+    assert [os.path.basename(i.path) for i in issues] == ["bad.py"]
+    # direct file path works too
+    assert len(lint_file(str(bad))) == 1
+
+
+def test_repo_source_tree_is_clean():
+    # The rule set reflects conventions the tree now follows everywhere;
+    # this is the same check CI runs via `repro validate --lint`.
+    import repro
+
+    pkg_dir = os.path.dirname(repro.__file__)
+    issues = lint_paths([pkg_dir])
+    assert issues == [], "\n".join(i.render() for i in issues)
