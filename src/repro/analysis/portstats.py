@@ -8,8 +8,8 @@ traffic was marked, and how often packets left minimal paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from ..network.fabric import Fabric
 from .reporting import render_table
@@ -32,6 +32,9 @@ class FabricReport:
     mean_hops: float
     nonminimal_fraction: float
     llr_replays: int
+    #: windowed view, only when an observer was passed:
+    #: (metric base, peak window util, mean window util)
+    windowed_hot: List[tuple] = field(default_factory=list)
 
     def render(self) -> str:
         rows = [
@@ -64,35 +67,61 @@ class FabricReport:
                     title="Hottest ports",
                 )
             )
+        if self.windowed_hot:
+            out.append(
+                render_table(
+                    ["port", "peak window util", "mean window util"],
+                    [
+                        [name, f"{peak:.1%}", f"{mean:.1%}"]
+                        for name, peak, mean in self.windowed_hot
+                    ],
+                    title="Hottest ports by time window (repro.observe)",
+                )
+            )
         return "\n\n".join(out)
 
 
-def fabric_report(fabric: Fabric, top_n: int = 5) -> FabricReport:
-    """Summarize a fabric after :meth:`Simulator.run`."""
+def fabric_report(fabric: Fabric, top_n: int = 5,
+                  observer: Optional[object] = None) -> FabricReport:
+    """Summarize a fabric after :meth:`Simulator.run`.
+
+    Pass a :class:`repro.observe.FabricObserver` as *observer* to add a
+    windowed hottest-ports view (peak/mean per-window utilization from
+    its time-series ring) on top of the whole-run totals.
+    """
     t = max(fabric.sim.now, 1e-9)
     tier_bytes: Dict[str, int] = {}
     tier_capacity: Dict[str, float] = {}
     port_stats = []
     marks = 0
     replays = 0
-    for sw in fabric.switches:
-        for port in sw.all_ports():
-            tier_bytes[port.kind] = tier_bytes.get(port.kind, 0) + port.bytes_sent
-            tier_capacity[port.kind] = (
-                tier_capacity.get(port.kind, 0.0) + port.bandwidth * t
-            )
-            port_stats.append(
-                (port.name, port.bytes_sent, port.bytes_sent / (port.bandwidth * t))
-            )
-            marks += port.marks_set
-            replays += port.replays
-    for nic in fabric.nics:
-        port = nic.out_port
-        tier_bytes["inject"] = tier_bytes.get("inject", 0) + port.bytes_sent
-        tier_capacity["inject"] = (
-            tier_capacity.get("inject", 0.0) + port.bandwidth * t
+    # one canonical walk over every port in the fabric (switch VOQs and
+    # NIC injection ports alike)
+    for _, port in fabric.all_ports():
+        tier_bytes[port.kind] = tier_bytes.get(port.kind, 0) + port.bytes_sent
+        tier_capacity[port.kind] = (
+            tier_capacity.get(port.kind, 0.0) + port.bandwidth * t
         )
         replays += port.replays
+        if port.kind == "inject":
+            continue  # whole-run hot-port/mark views cover switch ports
+        port_stats.append(
+            (port.name, port.bytes_sent, port.bytes_sent / (port.bandwidth * t))
+        )
+        marks += port.marks_set
+
+    windowed_hot: List[tuple] = []
+    if observer is not None and len(observer.windows):
+        # same per-port series the forensics layer uses (deferred import:
+        # analysis must stay importable without the observe package)
+        from ..observe.forensics import _port_utils
+
+        utils = _port_utils(list(observer.windows), observer.capacities)
+        ranked = sorted(
+            ((max(s), sum(s) / len(s), base) for base, s in utils.items() if s),
+            reverse=True,
+        )[:top_n]
+        windowed_hot = [(base, peak, mean) for peak, mean, base in ranked]
 
     delivered = fabric.packets_delivered()
     total_forwards = sum(sw.pkts_forwarded for sw in fabric.switches)
@@ -118,4 +147,5 @@ def fabric_report(fabric: Fabric, top_n: int = 5) -> FabricReport:
         mean_hops=mean_hops,
         nonminimal_fraction=min(1.0, nonmin),
         llr_replays=replays,
+        windowed_hot=windowed_hot,
     )

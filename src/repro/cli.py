@@ -10,6 +10,7 @@ Usage::
     python -m repro qos
     python -m repro report [--system shandy]
     python -m repro trace [--system malbec] [--out trace_out] ...
+    python -m repro observe [--pattern victim] [--attribution] [--weathermap map.html] ...
     python -m repro chaos [--system shandy] [--faults 3] [--curve] ...
     python -m repro validate [--lint] [--determinism] [--audit] ...
 
@@ -344,6 +345,71 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_observe(args) -> int:
+    from .observe import STAGES  # noqa: F401 (import check before building)
+
+    if not (0.0 <= args.sample_rate <= 1.0):
+        raise SystemExit(f"--sample-rate must be in [0, 1] (got {args.sample_rate})")
+    config = _get_system(args.system)()
+    fabric = config.build()
+    obs = fabric.attach_observer(
+        window_ns=args.window_us * 1000.0,
+        max_windows=args.windows,
+        sample_rate=args.sample_rate,
+    )
+    n = fabric.topology.n_nodes
+    victims = set()
+    if args.pattern == "bisection":
+        # the validator's scenario: every node sends across the bisection
+        for i in range(n):
+            fabric.send(i, (i + n // 2) % n, args.size)
+    elif args.pattern == "incast":
+        for i in range(args.messages):
+            fabric.send(1 + i % (n - 1), 0, args.size)
+    else:  # victim: one cross-group flow sharing its last-hop switch
+        # with an incast — the paper's victim-vs-aggressor story
+        tgt = 0
+        sw = fabric.topology.node_switch(tgt)
+        victim_dst = next(
+            m for m in fabric.topology.nodes_on_switch(sw) if m != tgt
+        )
+        victim_src = n - 1  # last node lives in the last group
+        victims = {(victim_src, victim_dst)}
+        for i in range(args.messages):
+            src = 1 + i % (n - 2)  # keep the victim endpoints clean
+            if src not in (victim_dst, victim_src):
+                fabric.send(src, tgt, args.size)
+        for _ in range(4):
+            fabric.send(victim_src, victim_dst, 16 * KiB)
+    fabric.sim.run()
+    obs.stop()
+
+    sim = fabric.sim
+    rows = [
+        ["system", config.name],
+        ["pattern", args.pattern],
+        ["simulated time", format_time_ns(sim.now)],
+        ["packets delivered", fabric.packets_delivered()],
+        ["span events", len(obs.spans)],
+        ["windows", f"{len(obs.windows)} x {format_time_ns(args.window_us * 1000.0)}"],
+        ["metrics windowed", len(obs.registry)],
+    ]
+    print(render_table(["quantity", "value"], rows,
+                       title="Observability capture"))
+    print()
+    print(obs.forensics(top_k=args.top_k).render())
+    if args.attribution:
+        print()
+        print(obs.attribution().render())
+    if victims:
+        print()
+        print(obs.victim_report(victims, top_k=args.top_k).render())
+    if args.weathermap:
+        path = obs.weathermap(args.weathermap)
+        print(f"\nweather map written to {path}")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from .faults import FaultSchedule, chaos_run, degradation_curve, link_fail
 
@@ -577,6 +643,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output directory for trace artifacts")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "observe",
+        help="windowed observability: congestion forensics, latency "
+             "attribution, fabric weather map",
+    )
+    p.add_argument("--system", choices=_SYSTEMS, default="malbec")
+    p.add_argument("--pattern", choices=("bisection", "incast", "victim"),
+                   default="bisection")
+    p.add_argument("--messages", type=int, default=120,
+                   help="aggressor messages for incast/victim patterns")
+    p.add_argument("--size", type=int, default=64 * KiB)
+    p.add_argument("--window-us", type=float, default=10.0,
+                   help="time-series window width in simulated microseconds")
+    p.add_argument("--windows", type=int, default=64,
+                   help="window ring capacity (older windows fall off)")
+    p.add_argument("--attribution", action="store_true",
+                   help="print the per-stage latency attribution report")
+    p.add_argument("--weathermap", metavar="OUT.html", default=None,
+                   help="write the fabric weather map to this HTML file")
+    p.add_argument("--top-k", type=int, default=5,
+                   help="hot links / shared ports to show per report")
+    p.add_argument("--sample-rate", type=float, default=1.0,
+                   help="fraction of packets given lifecycle spans")
+    p.set_defaults(fn=cmd_observe)
 
     p = sub.add_parser(
         "chaos",

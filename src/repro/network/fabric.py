@@ -356,6 +356,21 @@ class Fabric:
 
         return FabricTelemetry(self, **kwargs)
 
+    def attach_observer(self, telemetry=None, **kwargs):
+        """Attach the second-generation observability layer (windowed
+        time-series + latency attribution + congestion forensics).
+
+        Convenience wrapper over :class:`repro.observe.FabricObserver`;
+        see that class for keyword arguments (``window_ns``,
+        ``max_windows`` …).  Builds a full-sampling
+        :class:`repro.telemetry.FabricTelemetry` if *telemetry* is None.
+        Without this call the fabric runs with zero observability
+        overhead.
+        """
+        from ..observe import FabricObserver
+
+        return FabricObserver(self, telemetry=telemetry, **kwargs)
+
     def attach_faults(self, schedule=None, **kwargs):
         """Attach the fault-injection subsystem to this fabric.
 
@@ -475,14 +490,23 @@ class Fabric:
     def bytes_delivered(self) -> int:
         return sum(nic.bytes_delivered for nic in self.nics)
 
+    def all_ports(self):
+        """Every OutputPort in the fabric as ``(owner_label, port)`` pairs:
+        ``("switch.3", port)`` for switch egress ports, ``("nic.7", port)``
+        for NIC injection ports.  Deterministic order (switches then NICs,
+        each in id order) — the canonical walk for telemetry attachment
+        and per-port series."""
+        for sw in self.switches:
+            for port in sw.all_ports():
+                yield f"switch.{sw.id}", port
+        for nic in self.nics:
+            yield f"nic.{nic.node}", nic.out_port
+
     def packets_dropped(self) -> int:
         """Packets discarded by faults (dead wires/switches, no-route).
         Always 0 on a healthy fabric."""
         total = sum(sw.pkts_dropped for sw in self.switches)
-        for sw in self.switches:
-            for port in sw.all_ports():
-                total += port.pkts_dropped
-        total += sum(nic.out_port.pkts_dropped for nic in self.nics)
+        total += sum(port.pkts_dropped for _, port in self.all_ports())
         return total
 
     def _stuck_report(self, limit: int = 12) -> str:

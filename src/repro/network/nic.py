@@ -277,5 +277,18 @@ class NIC:
         """Bytes waiting in host memory for window space (diagnostics)."""
         return float(sum(s.pending_bytes for s in self.pairs.values()))
 
+    def pending_packets(self) -> int:
+        """Packets waiting in host memory for window space (diagnostics)."""
+        return sum(s.pending_count for s in self.pairs.values())
+
+    def blocked_pairs(self) -> int:
+        """Destinations with queued traffic that the congestion window is
+        currently holding back (diagnostics; scrape-time only)."""
+        return sum(
+            1
+            for s in self.pairs.values()
+            if s.pending_count and s.in_flight >= max(s.window, 1.0)
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"NIC(node={self.node})"

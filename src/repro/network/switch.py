@@ -400,6 +400,11 @@ class OutputPort:
         if not pending:
             return
         self._retry_armed = True
+        # Credit-stall accounting (repro.observe): the port has traffic it
+        # cannot move because the downstream buffer is out of space (or a
+        # rate cap is pending).  Zero-cost unless telemetry is attached.
+        if self.telem is not None:
+            self.telem.stall_begin(self)
         if self._single_tc:
             return  # an uncapped class is never token-bucket blocked
         t = self.scheduler.earliest_uncap_time(self.sim.now, self._head_size)
@@ -411,6 +416,8 @@ class OutputPort:
     def _clear_retry(self) -> None:
         """Progress was made: disarm, cancelling any uncap-time timer so
         it never pops through the heap as a stale no-op."""
+        if self._retry_armed and self.telem is not None:
+            self.telem.stall_end(self)
         self._retry_armed = False
         if self._retry_timer is not None:
             self._retry_timer.cancel()
@@ -474,6 +481,8 @@ class OutputPort:
         if not self.up:
             return
         self.up = False
+        if self._retry_armed and self.telem is not None:
+            self.telem.stall_end(self)  # close the open credit-stall span
         self._retry_armed = False
         if self.kind == "inject":
             return  # park, don't drop: the queue is host memory

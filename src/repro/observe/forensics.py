@@ -1,0 +1,199 @@
+"""Congestion forensics: hotspot detection over the per-port windows.
+
+Answers the operator questions the paper's conclusion poses — which
+links ran hot, for how long, and where ECN marking concentrated — from
+the :class:`~repro.observe.timeseries.TimeSeriesEngine` window ring:
+
+* **hotspots per window**: top-k ports by utilization in each window;
+* **sustained vs transient**: a port whose utilization stayed above the
+  hot threshold for ``sustain_windows`` consecutive windows is a
+  *sustained* hotspot (a parked congestion tree); shorter excursions
+  are *transient* (a burst absorbed by buffering);
+* **ECN heatmap**: marks per window for the hottest marking ports, as
+  a port x window matrix rendered with the shared heatmap renderer.
+
+Percentile math comes from :mod:`repro.analysis.stats`; rendering from
+:mod:`repro.analysis.reporting` — no ad-hoc stats or table code here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.reporting import format_time_ns, render_heatmap, render_table
+from ..analysis.stats import percentiles
+from .timeseries import TimeWindow
+
+__all__ = ["HotPort", "ForensicsReport", "congestion_report"]
+
+
+@dataclass
+class HotPort:
+    """One port's congestion record across the window ring."""
+
+    name: str
+    peak_util: float
+    mean_util: float
+    hot_windows: int
+    max_hot_run: int
+    kind: str  # "sustained" | "transient"
+
+    def row(self) -> List[object]:
+        return [
+            self.name, self.kind, f"{self.peak_util:.1%}",
+            f"{self.mean_util:.1%}", self.hot_windows, self.max_hot_run,
+        ]
+
+
+@dataclass
+class ForensicsReport:
+    """Hotspot + ECN view of a run (see :func:`congestion_report`)."""
+
+    windows: List[TimeWindow]
+    hot_threshold: float
+    #: per window: top-k ``(port_base, utilization)`` pairs
+    window_hotspots: List[List[Tuple[str, float]]]
+    #: every port that ever crossed the hot threshold, hottest first
+    hot_ports: List[HotPort]
+    #: ECN heatmap: (port names, per-port per-window mark deltas)
+    ecn_ports: List[str]
+    ecn_matrix: List[List[float]]
+    #: distribution of per-window peak utilization (analysis.stats)
+    peak_util_percentiles: Dict[float, float]
+
+    def render(self, max_windows: int = 12) -> str:
+        out = []
+        if not self.windows:
+            return "congestion forensics: no finished windows"
+        p = self.peak_util_percentiles
+        out.append(
+            f"Congestion forensics: {len(self.windows)} windows of "
+            f"{format_time_ns(self.windows[0].width)}, hot threshold "
+            f"{self.hot_threshold:.0%}; per-window peak utilization "
+            f"p50 {p.get(50, 0.0):.1%} / p95 {p.get(95, 0.0):.1%} / "
+            f"p99 {p.get(99, 0.0):.1%}"
+        )
+        if self.hot_ports:
+            out.append(render_table(
+                ["port", "class", "peak", "mean", "hot wins", "max run"],
+                [hp.row() for hp in self.hot_ports],
+                title="Hot ports (sustained = parked congestion tree)",
+            ))
+        else:
+            out.append("no port crossed the hot threshold")
+        shown = self._pick_windows(max_windows)
+        if shown:
+            rows = []
+            for i in shown:
+                w, spots = self.windows[i], self.window_hotspots[i]
+                top = ", ".join(f"{n} {u:.0%}" for n, u in spots[:3])
+                rows.append([format_time_ns(w.t1), top or "-"])
+            out.append(render_table(
+                ["window end", "top congested links"], rows,
+                title="Hotspots per window",
+            ))
+        if self.ecn_ports and any(any(r) for r in self.ecn_matrix):
+            cols = [format_time_ns(self.windows[i].t1) for i in shown]
+            matrix = [[row[i] for i in shown] for row in self.ecn_matrix]
+            out.append(render_heatmap(
+                self.ecn_ports, cols, matrix,
+                title="ECN marks per window", fmt="{:.0f}",
+            ))
+        return "\n\n".join(out)
+
+    def _pick_windows(self, max_windows: int) -> List[int]:
+        n = len(self.windows)
+        if n <= max_windows:
+            return list(range(n))
+        step = n / max_windows
+        return sorted({min(int(i * step), n - 1) for i in range(max_windows)})
+
+
+def _port_utils(windows: Sequence[TimeWindow],
+                capacities: Dict[str, float]) -> Dict[str, List[float]]:
+    """Per-port utilization series aligned to *windows*."""
+    out: Dict[str, List[float]] = {}
+    for name, bw in capacities.items():
+        base = name[: -len(".tx_bytes")] if name.endswith(".tx_bytes") else name
+        out[base] = [w.utilization(name, bw) for w in windows]
+    return out
+
+
+def congestion_report(
+    windows: Sequence[TimeWindow],
+    capacities: Dict[str, float],
+    top_k: int = 5,
+    hot_threshold: float = 0.7,
+    sustain_windows: int = 3,
+    ecn_top: Optional[int] = None,
+) -> ForensicsReport:
+    """Analyze a window series for hotspots and ECN concentration.
+
+    *capacities* maps ``<base>.tx_bytes`` metric names to link
+    bandwidth (B/ns) — a :class:`~repro.observe.FabricObserver` provides
+    this for a whole fabric.
+    """
+    windows = list(windows)
+    utils = _port_utils(windows, capacities)
+
+    window_hotspots: List[List[Tuple[str, float]]] = []
+    for i in range(len(windows)):
+        ranked = sorted(
+            ((base, series[i]) for base, series in utils.items()),
+            key=lambda kv: -kv[1],
+        )
+        window_hotspots.append(
+            [(b, u) for b, u in ranked[:top_k] if u > 0.0]
+        )
+
+    hot_ports: List[HotPort] = []
+    for base, series in utils.items():
+        if not series:
+            continue
+        peak = max(series)
+        if peak < hot_threshold:
+            continue
+        hot = [u >= hot_threshold for u in series]
+        run = best = 0
+        for h in hot:
+            run = run + 1 if h else 0
+            best = max(best, run)
+        kind = "sustained" if best >= sustain_windows else "transient"
+        hot_ports.append(HotPort(
+            name=base,
+            peak_util=peak,
+            mean_util=sum(series) / len(series),
+            hot_windows=sum(hot),
+            max_hot_run=best,
+            kind=kind,
+        ))
+    hot_ports.sort(key=lambda hp: (-hp.max_hot_run, -hp.peak_util))
+
+    # ECN heatmap over the ports that marked the most
+    mark_names = sorted(
+        {n for w in windows for n in w.deltas if n.endswith(".marks")}
+    )
+    mark_totals = {
+        n: sum(w.deltas.get(n, 0.0) for w in windows) for n in mark_names
+    }
+    top_markers = sorted(
+        (n for n in mark_names if mark_totals[n] > 0),
+        key=lambda n: -mark_totals[n],
+    )[: (ecn_top if ecn_top is not None else top_k)]
+    ecn_ports = [n[: -len(".marks")] for n in top_markers]
+    ecn_matrix = [
+        [w.deltas.get(n, 0.0) for w in windows] for n in top_markers
+    ]
+
+    peaks = [max((s[i] for s in utils.values()), default=0.0)
+             for i in range(len(windows))]
+    return ForensicsReport(
+        windows=windows,
+        hot_threshold=hot_threshold,
+        window_hotspots=window_hotspots,
+        hot_ports=hot_ports[:top_k],
+        ecn_ports=ecn_ports,
+        ecn_matrix=ecn_matrix,
+        peak_util_percentiles=percentiles(peaks, (50, 95, 99)),
+    )

@@ -1,0 +1,242 @@
+"""Fabric weather map: the dragonfly as a single-file HTML/SVG page.
+
+Network operators read congestion off *weather maps* — the topology
+drawn once, links colored by utilization, re-rendered per time slice.
+This module emits exactly that for a simulated dragonfly run:
+
+* groups on an outer ring, each group's switches on an inner ring
+  around the group center, each switch's hosts fanned just outside it;
+* **every** link of ``fabric.links`` as one SVG line — local links
+  inside the group rings, global links across the middle, host links as
+  short spokes — colored green → amber → red by that window's
+  utilization (max of the two directions);
+* a badge per switch showing its peak VOQ backlog (KiB) in the window;
+* a time slider (plus play button) stepping through the
+  :class:`~repro.observe.timeseries.TimeSeriesEngine` window ring.
+
+The output is fully self-contained — inline SVG, inline JSON, inline
+vanilla JS; no external assets — so the file can be attached to a CI
+run or mailed around and opened anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["weathermap_data", "weathermap_html", "write_weathermap"]
+
+_W, _H = 960, 960  # SVG canvas
+
+
+def _layout(topology) -> Tuple[List[Tuple[float, float]], List[Tuple[float, float]]]:
+    """Positions for every switch and node (canvas coordinates)."""
+    params = topology.params
+    g, a, p = params.n_groups, params.switches_per_group, params.hosts_per_switch
+    cx, cy = _W / 2.0, _H / 2.0
+    ring = min(_W, _H) * 0.33  # group-center ring radius
+    spread = min(_W, _H) * 0.115  # switch ring radius around a group center
+    host_r = min(_W, _H) * 0.055  # host fan distance beyond the switch
+
+    switches: List[Tuple[float, float]] = []
+    for s in range(topology.n_switches):
+        grp = topology.switch_group(s)
+        ga = 2 * math.pi * grp / g - math.pi / 2
+        gx, gy = cx + ring * math.cos(ga), cy + ring * math.sin(ga)
+        k = s % a
+        # face the switch ring away from the canvas center so host fans
+        # (drawn further out) don't collide with global links
+        sa = ga + 2 * math.pi * k / a
+        switches.append((gx + spread * math.cos(sa), gy + spread * math.sin(sa)))
+
+    nodes: List[Tuple[float, float]] = []
+    for n in range(topology.n_nodes):
+        s = topology.node_switch(n)
+        sx, sy = switches[s]
+        grp = topology.switch_group(s)
+        ga = 2 * math.pi * grp / g - math.pi / 2
+        gx, gy = cx + ring * math.cos(ga), cy + ring * math.sin(ga)
+        # outward direction: from group center through the switch
+        base = math.atan2(sy - gy, sx - gx)
+        j = n % p
+        na = base + (j - (p - 1) / 2.0) * (0.9 / max(p, 1))
+        nodes.append((sx + host_r * math.cos(na), sy + host_r * math.sin(na)))
+    return switches, nodes
+
+
+def _link_endpoints(fabric, switches, nodes, key) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+    kind = key[0]
+    if kind == "local":
+        return switches[key[1]], switches[key[2]]
+    if kind == "global":
+        si, sj = fabric.topology.group_pair_links(key[1], key[2])[key[3]]
+        return switches[si], switches[sj]
+    # ("host", n): switch <-> NIC
+    n = key[1]
+    return switches[fabric.topology.node_switch(n)], nodes[n]
+
+
+def weathermap_data(observer) -> Dict:
+    """The map as plain data: geometry once, per-window link utilizations
+    and switch depths (what the HTML embeds; also handy for tests)."""
+    fabric = observer.fabric
+    switches, nodes = _layout(fabric.topology)
+    keys = sorted(fabric.links)
+    links = []
+    for key in keys:
+        (x1, y1), (x2, y2) = _link_endpoints(fabric, switches, nodes, key)
+        links.append({
+            "key": list(key),
+            "kind": key[0],
+            "x1": round(x1, 1), "y1": round(y1, 1),
+            "x2": round(x2, 1), "y2": round(y2, 1),
+        })
+    windows = []
+    for w in observer.windows:
+        utils = observer.link_utilization(w)
+        depths = observer.switch_depths(w)
+        windows.append({
+            "t0": w.t0,
+            "t1": w.t1,
+            "links": [round(utils.get(key, 0.0), 4) for key in keys],
+            "switches": [round(depths.get(s, 0.0), 1)
+                         for s in range(fabric.topology.n_switches)],
+        })
+    return {
+        "name": fabric.config.name,
+        "n_nodes": fabric.topology.n_nodes,
+        "n_switches": fabric.topology.n_switches,
+        "switches": [{"x": round(x, 1), "y": round(y, 1)} for x, y in switches],
+        "nodes": [{"x": round(x, 1), "y": round(y, 1)} for x, y in nodes],
+        "links": links,
+        "windows": windows,
+    }
+
+
+def weathermap_html(observer, title: Optional[str] = None) -> str:
+    """Render the observer's window ring as a self-contained HTML page."""
+    data = weathermap_data(observer)
+    title = title or f"fabric weather map: {data['name']}"
+    svg_links = "\n".join(
+        f'<line id="lk{i}" class="lk {l["kind"]}" x1="{l["x1"]}" '
+        f'y1="{l["y1"]}" x2="{l["x2"]}" y2="{l["y2"]}"/>'
+        for i, l in enumerate(data["links"])
+    )
+    svg_switches = "\n".join(
+        f'<g><circle class="sw" cx="{s["x"]}" cy="{s["y"]}" r="11"/>'
+        f'<text class="swid" x="{s["x"]}" y="{s["y"] + 3}">{i}</text>'
+        f'<text class="badge" id="sw{i}" x="{s["x"]}" '
+        f'y="{s["y"] - 14}"></text></g>'
+        for i, s in enumerate(data["switches"])
+    )
+    svg_nodes = "\n".join(
+        f'<circle class="nd" cx="{n["x"]}" cy="{n["y"]}" r="2.2"/>'
+        for n in data["nodes"]
+    )
+    payload = json.dumps(data, separators=(",", ":"))
+    # doubled braces: this is a str.format template
+    return _TEMPLATE.format(
+        title=title, w=_W, h=_H, payload=payload,
+        links=svg_links, switches=svg_switches, nodes=svg_nodes,
+    )
+
+
+def write_weathermap(observer, path: str, title: Optional[str] = None) -> str:
+    html = weathermap_html(observer, title=title)
+    with open(path, "w") as fh:
+        fh.write(html)
+    return path
+
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8"/>
+<title>{title}</title>
+<style>
+  body {{ background: #11161d; color: #cdd6e0; font: 14px/1.4 system-ui, sans-serif;
+         margin: 0; display: flex; flex-direction: column; align-items: center; }}
+  h1 {{ font-size: 18px; font-weight: 600; margin: 14px 0 4px; }}
+  #meta {{ color: #8b98a8; margin-bottom: 8px; }}
+  #controls {{ display: flex; gap: 12px; align-items: center; margin-bottom: 6px; }}
+  #slider {{ width: 420px; }}
+  button {{ background: #223041; color: #cdd6e0; border: 1px solid #3a4b60;
+            border-radius: 4px; padding: 2px 12px; cursor: pointer; }}
+  svg {{ background: #0b0f14; border-radius: 8px; }}
+  .lk {{ stroke: #2a3642; stroke-width: 1.6; }}
+  .lk.global {{ stroke-width: 2.2; }}
+  .lk.host {{ stroke-width: 1.1; }}
+  .sw {{ fill: #1d2833; stroke: #51637a; stroke-width: 1.2; }}
+  .swid {{ fill: #9fb0c3; font-size: 9px; text-anchor: middle; }}
+  .badge {{ fill: #e8b339; font-size: 9px; text-anchor: middle; }}
+  .nd {{ fill: #3d4f63; }}
+  #legend {{ color: #8b98a8; margin: 6px 0 14px; }}
+  #legend span {{ display: inline-block; width: 34px; height: 10px;
+                  border-radius: 2px; vertical-align: middle; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<div id="meta"></div>
+<div id="controls">
+  <button id="play">&#9654;</button>
+  <input id="slider" type="range" min="0" value="0"/>
+  <span id="wlabel"></span>
+</div>
+<svg width="{w}" height="{h}" viewBox="0 0 {w} {h}">
+{links}
+{nodes}
+{switches}
+</svg>
+<div id="legend">link utilization:
+  <span style="background:hsl(120,65%,42%)"></span> 0%
+  <span style="background:hsl(60,75%,48%)"></span> 50%
+  <span style="background:hsl(0,75%,50%)"></span> 100% &nbsp;|&nbsp;
+  badge = peak switch VOQ backlog (KiB)</div>
+<script>
+const DATA = {payload};
+const slider = document.getElementById('slider');
+const wlabel = document.getElementById('wlabel');
+const meta = document.getElementById('meta');
+meta.textContent = DATA.n_nodes + ' nodes, ' + DATA.n_switches +
+  ' switches, ' + DATA.links.length + ' links, ' +
+  DATA.windows.length + ' windows';
+function hue(u) {{
+  u = Math.max(0, Math.min(1, u));
+  return 'hsl(' + (120 * (1 - u)) + ',70%,' + (42 + 12 * u) + '%)';
+}}
+function show(i) {{
+  const w = DATA.windows[i];
+  if (!w) {{ wlabel.textContent = 'no windows'; return; }}
+  for (let k = 0; k < DATA.links.length; k++) {{
+    const el = document.getElementById('lk' + k);
+    const u = w.links[k];
+    el.style.stroke = u > 0 ? hue(u) : '';
+    el.style.strokeWidth = u > 0.02 ? (1.6 + 2.4 * Math.min(1, u)) : '';
+  }}
+  for (let s = 0; s < DATA.n_switches; s++) {{
+    const d = w.switches[s];
+    document.getElementById('sw' + s).textContent =
+      d > 512 ? Math.round(d / 1024) + 'K' : '';
+  }}
+  wlabel.textContent = 'window ' + (i + 1) + '/' + DATA.windows.length +
+    '  [' + (w.t0 / 1000).toFixed(1) + ' \\u2013 ' +
+    (w.t1 / 1000).toFixed(1) + ' \\u00b5s]';
+}}
+slider.max = Math.max(0, DATA.windows.length - 1);
+slider.addEventListener('input', () => show(+slider.value));
+let timer = null;
+document.getElementById('play').addEventListener('click', function () {{
+  if (timer) {{ clearInterval(timer); timer = null; this.innerHTML = '&#9654;'; return; }}
+  this.innerHTML = '&#9646;&#9646;';
+  timer = setInterval(() => {{
+    const next = (+slider.value + 1) % (Number(slider.max) + 1);
+    slider.value = next; show(next);
+  }}, 400);
+}});
+show(0);
+</script>
+</body>
+</html>
+"""

@@ -109,12 +109,20 @@ def chrome_trace(
     spans: Optional[SpanRecorder] = None,
     scraper: Optional[CounterScraper] = None,
     counter_prefixes: Optional[List[str]] = None,
+    windows=None,
 ) -> Dict:
     """Build a trace-event dict (``json.dump`` it yourself, or use
     :func:`write_chrome_trace`).
 
     *counter_prefixes* optionally restricts which scraped series become
     counter tracks (metric cardinality on a big fabric can be large).
+
+    *windows* is anything with a ``counter_tracks(prefixes)`` method —
+    in practice a :class:`repro.observe.TimeSeriesEngine` — whose
+    per-window rate/utilization tracks are emitted as additional counter
+    rows, so windowed utilization shows up alongside spans in Perfetto.
+    (Duck-typed on purpose: this module must not import the observe
+    layer.)
     """
     events: List[Dict] = [_meta(_PID_PACKETS, "packets")]
 
@@ -179,6 +187,22 @@ def chrome_trace(
                     }
                 )
 
+    if windows is not None and hasattr(windows, "counter_tracks"):
+        tracks = windows.counter_tracks(counter_prefixes)
+        if tracks:
+            events.append(_meta(_PID_COUNTERS, "fabric counters"))
+            for name, points in tracks:
+                for t, v in points:
+                    events.append(
+                        {
+                            "name": name,
+                            "ph": "C",
+                            "ts": t / 1e3,
+                            "pid": _PID_COUNTERS,
+                            "args": {"value": v},
+                        }
+                    )
+
     return {"traceEvents": events, "displayTimeUnit": "ns"}
 
 
@@ -187,6 +211,7 @@ def write_chrome_trace(
     spans: Optional[SpanRecorder] = None,
     scraper: Optional[CounterScraper] = None,
     counter_prefixes: Optional[List[str]] = None,
+    windows=None,
 ) -> None:
     with open(path, "w") as fh:
-        json.dump(chrome_trace(spans, scraper, counter_prefixes), fh)
+        json.dump(chrome_trace(spans, scraper, counter_prefixes, windows), fh)

@@ -75,17 +75,42 @@ class SwitchTelemetry:
 
 
 class PortTelemetry:
-    """Span hooks for one output port (switch VOQ or NIC injection)."""
+    """Span hooks for one output port (switch VOQ or NIC injection).
 
-    __slots__ = ("spans", "sim", "port_name", "layer")
+    Also tracks credit-stall time: the cumulative sim-time this port
+    spent with queued traffic it could not move because the downstream
+    buffer was out of space.  The switch signals stall boundaries from
+    its retry timer (:meth:`stall_begin` / :meth:`stall_end`); the
+    totals land in the registry as ``<base>.credit_stall_ns`` and
+    ``<base>.credit_stalls`` so the windowed time-series engine
+    (:mod:`repro.observe`) can difference them per window.
+    """
 
-    def __init__(self, parent: "FabricTelemetry", port):
+    __slots__ = ("spans", "sim", "port_name", "layer",
+                 "stall_ns", "stalls", "_stall_t0")
+
+    def __init__(self, parent: "FabricTelemetry", port, base: str):
         self.spans = parent.spans
         self.sim = port.sim
         self.port_name = port.name or port.kind
         # the NIC's injection port is NIC-layer; everything else is a
         # switch VOQ
         self.layer = "nic" if port.kind == "inject" else "switch"
+        self.stall_ns = parent.registry.counter(f"{base}.credit_stall_ns")
+        self.stalls = parent.registry.counter(f"{base}.credit_stalls")
+        self._stall_t0: Optional[float] = None
+
+    def stall_begin(self, port) -> None:
+        # Re-arming an already-armed retry just moves the deadline; the
+        # stall started at the *first* arm, so keep the original t0.
+        if self._stall_t0 is None:
+            self._stall_t0 = self.sim.now
+
+    def stall_end(self, port) -> None:
+        if self._stall_t0 is not None:
+            self.stall_ns.inc(self.sim.now - self._stall_t0)
+            self.stalls.inc()
+            self._stall_t0 = None
 
     def enqueue(self, pkt, port) -> None:
         if pkt.traced:
@@ -143,10 +168,14 @@ class NicTelemetry:
     def injected(self, pkt, state) -> None:
         pkt.traced = self.spans.sample(pkt.pid)
         if pkt.traced:
+            # mid/seq identify the *logical* packet across retransmission
+            # clones (which get fresh pids); attribution stitches retry
+            # chains back together from them.
             self.spans.record(
                 self.sim.now, pkt.pid, "nic", "injected",
                 src=pkt.src, dst=pkt.dst, bytes=pkt.size, tc=pkt.tc,
                 window=state.window, in_flight=state.in_flight,
+                mid=pkt.message.mid, seq=pkt.seq, attempt=pkt.attempt,
             )
 
     def delivered(self, pkt, msg) -> None:
@@ -312,6 +341,8 @@ class FabricTelemetry:
             reg.gauge(f"{base}.rx_pkts", fn=lambda n=nic: n.pkts_delivered)
             reg.gauge(f"{base}.acks_marked", fn=lambda n=nic: n.acks_marked)
             reg.gauge(f"{base}.cc_queued_bytes", fn=nic.queued_bytes)
+            reg.gauge(f"{base}.pending_pkts", fn=nic.pending_packets)
+            reg.gauge(f"{base}.blocked_pairs", fn=nic.blocked_pairs)
             nic.telem = NicTelemetry(self, nic)
             self._attach_port(
                 nic.out_port, f"{base}.port.{nic.out_port.name or 'inject'}"
@@ -336,7 +367,7 @@ class FabricTelemetry:
         reg.gauge(f"{base}.credited_bytes", fn=lambda p=port: p.credited_bytes)
         reg.gauge(f"{base}.marks", fn=lambda p=port: p.marks_set)
         reg.gauge(f"{base}.drops", fn=lambda p=port: p.pkts_dropped)
-        port.telem = PortTelemetry(self, port)
+        port.telem = PortTelemetry(self, port, base)
 
     def detach(self) -> None:
         """Remove every hook; the fabric reverts to zero-overhead mode."""
@@ -345,11 +376,10 @@ class FabricTelemetry:
         fabric = self.fabric
         for sw in fabric.switches:
             sw.telem = None
-            for port in sw.all_ports():
-                port.telem = None
         for nic in fabric.nics:
             nic.telem = None
-            nic.out_port.telem = None
+        for _, port in fabric.all_ports():
+            port.telem = None
         fabric.router.telem = None
         fabric.cc.telem = None
         if fabric.fault_injector is not None:

@@ -93,12 +93,19 @@ class CounterScraper:
         return self.series.get(name, [])
 
     def rate(self, name: str) -> List[float]:
-        """Per-interval rate (units/ns) for a counter series."""
+        """Per-interval rate (units/ns) for a counter series.
+
+        Well-formed on every degenerate input: an unknown name, an empty
+        registry, or a single snapshot all yield ``[]`` (one snapshot
+        bounds no interval), and a column shorter than the time axis
+        (a metric that appeared mid-run) is rated only over the
+        snapshots it actually has.
+        """
         col = self.series.get(name)
         if not col or len(self.times) < 2:
             return []
         out = []
-        for i in range(1, len(col)):
+        for i in range(1, min(len(col), len(self.times))):
             dt = self.times[i] - self.times[i - 1]
             out.append((col[i] - col[i - 1]) / dt if dt > 0 else 0.0)
         return out
@@ -107,7 +114,12 @@ class CounterScraper:
         return sorted(self.series)
 
     def rows(self) -> List[tuple]:
-        """Long-format rows ``(t_ns, name, value)`` for CSV export."""
+        """Long-format rows ``(t_ns, name, value)`` for CSV export.
+
+        Empty (no rows, never a partial row) when the registry was empty
+        or no snapshot was ever taken; ``zip`` truncates any column/time
+        misalignment rather than emitting rows with missing fields.
+        """
         out = []
         for name in sorted(self.series):
             col = self.series[name]

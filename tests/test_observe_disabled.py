@@ -1,0 +1,86 @@
+"""The observe layer must never perturb the simulation it watches.
+
+Same bar as ``test_telemetry_disabled``: a fabric with no observer is
+bit-identical to the seed, and an *attached* observer changes only the
+event count (its own window ticks) — never a latency, a delivery, or a
+mark. The new PR hooks (credit-stall spans, pending/blocked gauges,
+mid/seq span attrs) all live behind the single-attribute-check path.
+"""
+
+import random
+
+from repro.network.units import KiB
+from repro.observe import FabricObserver  # noqa: F401 — import must be inert
+from repro.systems import malbec_mini
+
+
+def _workload(fabric, n_messages=40, seed=7):
+    rng = random.Random(seed)
+    n = fabric.topology.n_nodes
+    msgs = []
+    sent = 0
+    while sent < n_messages:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b:
+            continue
+        msgs.append(fabric.send(a, b, rng.choice([8, 4 * KiB, 64 * KiB])))
+        sent += 1
+    fabric.sim.run()
+    return msgs
+
+
+def _fingerprint(fabric, msgs):
+    return {
+        "events": fabric.sim.events_processed,
+        "now": fabric.sim.now,
+        "latencies": [(m.submit_time, m.complete_time) for m in msgs],
+        "delivered": fabric.packets_delivered(),
+        "marks": sum(p.marks_set for sw in fabric.switches
+                     for p in sw.all_ports()),
+    }
+
+
+def test_unobserved_run_is_bit_identical():
+    plain = malbec_mini().build()
+    base = _fingerprint(plain, _workload(plain))
+    again = malbec_mini().build()
+    assert _fingerprint(again, _workload(again)) == base
+
+
+def test_observer_adds_only_its_own_ticks():
+    plain = malbec_mini().build()
+    base = _fingerprint(plain, _workload(plain))
+
+    observed = malbec_mini().build()
+    obs = observed.attach_observer(window_ns=10_000.0)
+    msgs = _workload(observed)
+    obs.stop()
+    got = _fingerprint(observed, msgs)
+    # everything the packets did is unchanged...
+    assert got["latencies"] == base["latencies"]
+    assert got["delivered"] == base["delivered"]
+    assert got["marks"] == base["marks"]
+    # ...the engine's tick timers are the only extra events (they also
+    # trail the last packet event, so sim.now only ever grows)
+    assert got["events"] > base["events"]
+    assert got["now"] >= base["now"]
+    # and the observer saw real data while staying invisible
+    assert len(obs.windows) > 0
+    assert len(obs.spans) > 0
+    assert obs.attribution().overall.n > 0
+
+
+def test_observed_runs_are_mutually_deterministic():
+    a = malbec_mini().build()
+    obs_a = a.attach_observer(window_ns=10_000.0)
+    fp_a = _fingerprint(a, _workload(a))
+    obs_a.stop()
+
+    b = malbec_mini().build()
+    obs_b = b.attach_observer(window_ns=10_000.0)
+    fp_b = _fingerprint(b, _workload(b))
+    obs_b.stop()
+
+    assert fp_a == fp_b  # including the engine's own events
+    assert [(w.t0, w.t1) for w in obs_a.windows] == \
+           [(w.t0, w.t1) for w in obs_b.windows]

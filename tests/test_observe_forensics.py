@@ -1,0 +1,92 @@
+"""Congestion forensics: hotspot ranking and sustained/transient calls.
+
+Synthetic window series with hand-picked utilizations drive the
+classifier; a real run checks the report wires into FabricObserver.
+"""
+
+from repro.network.units import KiB
+from repro.observe import TimeWindow, congestion_report
+from repro.systems import malbec_mini
+
+
+def _window(t0, width, byte_counts, marks=None):
+    deltas = {f"{p}.tx_bytes": b for p, b in byte_counts.items()}
+    for p, m in (marks or {}).items():
+        deltas[f"{p}.marks"] = m
+    return TimeWindow(t0, t0 + width, deltas, {})
+
+
+# capacity 1 B/ns and 100 ns windows: bytes/100 == utilization
+_CAPS = {"sw.0.port.A.tx_bytes": 1.0, "sw.0.port.B.tx_bytes": 1.0,
+         "sw.1.port.C.tx_bytes": 1.0}
+
+
+def _series():
+    utils = {
+        "sw.0.port.A": [0.9, 0.9, 0.9, 0.1],  # 3-window run: sustained
+        "sw.0.port.B": [0.8, 0.1, 0.8, 0.1],  # never 3 in a row: transient
+        "sw.1.port.C": [0.2, 0.3, 0.2, 0.1],  # never hot
+    }
+    marks = {"sw.0.port.A": [5, 9, 2, 0]}
+    return [
+        _window(i * 100.0, 100.0,
+                {p: u[i] * 100.0 for p, u in utils.items()},
+                {p: m[i] for p, m in marks.items()})
+        for i in range(4)
+    ]
+
+
+def test_sustained_vs_transient_classification():
+    rep = congestion_report(_series(), _CAPS, hot_threshold=0.7,
+                            sustain_windows=3)
+    by_name = {hp.name: hp for hp in rep.hot_ports}
+    assert set(by_name) == {"sw.0.port.A", "sw.0.port.B"}  # C never hot
+    a, b = by_name["sw.0.port.A"], by_name["sw.0.port.B"]
+    assert (a.kind, a.hot_windows, a.max_hot_run) == ("sustained", 3, 3)
+    assert (b.kind, b.hot_windows, b.max_hot_run) == ("transient", 2, 1)
+    assert a.peak_util == 0.9 and b.peak_util == 0.8
+    # ranked by longest hot run first
+    assert rep.hot_ports[0].name == "sw.0.port.A"
+
+
+def test_per_window_hotspots_are_topk_and_positive():
+    rep = congestion_report(_series(), _CAPS, top_k=2)
+    assert len(rep.window_hotspots) == 4
+    first = rep.window_hotspots[0]
+    assert [n for n, _ in first] == ["sw.0.port.A", "sw.0.port.B"]
+    for spots in rep.window_hotspots:
+        assert len(spots) <= 2
+        assert all(u > 0.0 for _, u in spots)
+
+
+def test_ecn_heatmap_tracks_marking_ports():
+    rep = congestion_report(_series(), _CAPS)
+    assert rep.ecn_ports == ["sw.0.port.A"]
+    assert rep.ecn_matrix == [[5.0, 9.0, 2.0, 0.0]]
+    text = rep.render()
+    assert "ECN marks per window" in text
+    assert "sustained" in text and "transient" in text
+
+
+def test_empty_and_quiet_series_render_gracefully():
+    assert "no finished windows" in congestion_report([], _CAPS).render()
+    quiet = [_window(0.0, 100.0, {"sw.1.port.C": 1.0})]
+    rep = congestion_report(quiet, _CAPS)
+    assert rep.hot_ports == [] and rep.ecn_ports == []
+    assert "no port crossed the hot threshold" in rep.render()
+
+
+def test_real_run_forensics_report():
+    fabric = malbec_mini().build()
+    obs = fabric.attach_observer(window_ns=5_000.0)
+    for src in range(1, 9):  # incast onto node 0's host link
+        fabric.send(src * 8 % fabric.topology.n_nodes, 0, 64 * KiB)
+    fabric.sim.run()
+    obs.stop()
+    rep = obs.forensics(top_k=3, hot_threshold=0.5)
+    assert len(rep.windows) == len(obs.windows)
+    # the incast target's host link must surface somewhere in the report
+    hot_names = {hp.name for hp in rep.hot_ports}
+    spotted = {n for spots in rep.window_hotspots for n, _ in spots}
+    assert any("H0->0" in n for n in hot_names | spotted)
+    assert rep.render()

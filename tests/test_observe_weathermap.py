@@ -1,0 +1,80 @@
+"""Weather map: every fabric link rendered, self-contained HTML output.
+
+The ISSUE acceptance criterion: the map renders every link of the
+80-node dragonfly (malbec_mini: 150 links) with per-window utilization.
+"""
+
+import json
+import re
+import subprocess
+import sys
+
+from repro.network.units import KiB
+from repro.observe import weathermap_data, weathermap_html
+from repro.systems import malbec_mini
+
+
+def _observed_run(n_messages=30):
+    fabric = malbec_mini().build()
+    obs = fabric.attach_observer(window_ns=5_000.0)
+    n = fabric.topology.n_nodes
+    for i in range(n_messages):
+        fabric.send(i % n, (i * 7 + 1) % n, 16 * KiB)
+    fabric.sim.run()
+    obs.stop()
+    return fabric, obs
+
+
+def test_data_covers_every_link_and_window():
+    fabric, obs = _observed_run()
+    data = weathermap_data(obs)
+    # acceptance criterion: every link of the 80-node dragonfly is there
+    assert data["n_nodes"] == 80 and data["n_switches"] == 20
+    assert len(fabric.links) == 150
+    assert len(data["links"]) == 150
+    kinds = {l["kind"] for l in data["links"]}
+    assert kinds == {"local", "global", "host"}
+    assert len(data["windows"]) == len(obs.windows)
+    for w in data["windows"]:
+        assert len(w["links"]) == 150
+        assert len(w["switches"]) == 20
+        assert all(0.0 <= u <= 1.0 + 1e-9 for u in w["links"])
+    # traffic actually lit some links up
+    assert any(u > 0 for w in data["windows"] for u in w["links"])
+    # geometry: every endpoint on the canvas
+    for l in data["links"]:
+        for c in ("x1", "y1", "x2", "y2"):
+            assert 0 <= l[c] <= 960
+
+
+def test_html_is_self_contained_and_complete():
+    _, obs = _observed_run(n_messages=10)
+    html = weathermap_html(obs, title="test map")
+    assert html.startswith("<!DOCTYPE html>")
+    assert "test map" in html
+    # one SVG line element per link, ids the JS can address
+    assert html.count('<line id="lk') == 150
+    assert 'id="sw19"' in html  # last switch badge present
+    # no external assets: self-contained single file
+    assert "http://" not in html and "https://" not in html
+    assert "<script src" not in html
+    # the embedded payload is valid JSON and matches the link count
+    m = re.search(r"const DATA = (\{.*?\});\n", html, re.S)
+    assert m, "embedded payload not found"
+    payload = json.loads(m.group(1))
+    assert len(payload["links"]) == 150
+    assert payload["windows"] == weathermap_data(obs)["windows"]
+
+
+def test_cli_observe_writes_weathermap(tmp_path):
+    out = tmp_path / "map.html"
+    r = subprocess.run(
+        [sys.executable, "-m", "repro", "observe", "--messages", "12",
+         "--size", "8192", "--weathermap", str(out)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert r.returncode == 0, r.stderr
+    assert "Congestion forensics" in r.stdout
+    html = out.read_text()
+    assert html.startswith("<!DOCTYPE html>") and len(html) > 10_000
+    assert html.count('<line id="lk') == 150

@@ -1,0 +1,125 @@
+"""Scraper edge-case regressions + chrome-trace counter tracks.
+
+Covers the hardened :meth:`CounterScraper.rate`/:meth:`rows` contracts
+(degenerate inputs yield empty results, never exceptions or partial
+rows) and the exporter's new windowed counter-track emission.
+"""
+
+import json
+
+from repro.network.units import KiB
+from repro.sim.engine import Simulator
+from repro.systems import malbec_mini
+from repro.telemetry import CounterScraper, TelemetryRegistry
+from repro.telemetry.exporters import chrome_trace, timeseries_to_csv
+
+
+def _scraper(interval=100.0):
+    sim = Simulator()
+    reg = TelemetryRegistry()
+    return sim, reg, CounterScraper(sim, reg, interval)
+
+
+# -- rate() ---------------------------------------------------------------------
+
+
+def test_rate_on_unknown_name_is_empty():
+    _, _, s = _scraper()
+    assert s.rate("no.such.metric") == []
+
+
+def test_rate_with_zero_or_one_snapshot_is_empty():
+    sim, reg, s = _scraper()
+    c = reg.counter("x")
+    assert s.rate("x") == []  # no snapshots at all
+    c.inc(5)
+    sim.schedule(50.0, lambda: None)
+    s.stop()  # exactly one snapshot: bounds no interval
+    assert len(s) == 1
+    assert s.rate("x") == []
+
+
+def test_rate_of_late_registered_metric_covers_only_its_snapshots():
+    sim, reg, s = _scraper(interval=100.0)
+    a = reg.counter("a")
+    s.start()
+    # keep the sim alive across several ticks
+    for t in (50.0, 150.0, 250.0, 350.0):
+        sim.schedule(t, lambda: None)
+    sim.run(until=220.0)
+    a.inc(10)
+    late = reg.counter("late")  # appears after two snapshots exist
+    late.inc(42)
+    sim.run()
+    s.stop()
+    # the late column was back-filled with zeros to stay aligned
+    assert len(s.get("late")) == len(s.times)
+    rates = s.rate("late")
+    assert len(rates) == len(s.times) - 1
+    assert all(r >= 0.0 for r in rates)
+    # a column artificially shorter than the time axis never indexes out
+    s.series["late"] = s.series["late"][:2]
+    assert len(s.rate("late")) == 1
+
+
+def test_rate_handles_duplicate_time_guard():
+    sim, reg, s = _scraper()
+    reg.counter("x").inc(1)
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    s.stop()
+    s.stop()  # second stop at the same instant: no duplicate snapshot
+    assert len(s) == 1
+
+
+# -- rows() / CSV ---------------------------------------------------------------
+
+
+def test_rows_empty_registry_and_csv_header_only():
+    _, _, s = _scraper()
+    assert s.rows() == []
+    assert timeseries_to_csv(s) == "t_ns,name,value\n"
+
+
+def test_rows_truncate_misaligned_columns():
+    sim, reg, s = _scraper()
+    reg.counter("x").inc(3)
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    s.stop()
+    s.series["x"].append(99.0)  # force a column longer than times
+    rows = s.rows()
+    assert rows == [(sim.now, "x", 3.0)]  # zip truncated, no ragged row
+
+
+# -- chrome-trace counter tracks ------------------------------------------------
+
+
+def test_chrome_trace_emits_windowed_counter_tracks():
+    fabric = malbec_mini().build()
+    obs = fabric.attach_observer(window_ns=5_000.0)
+    for i in range(10):
+        fabric.send(i, i + 40, 16 * KiB)
+    fabric.sim.run()
+    obs.stop()
+    trace = chrome_trace(spans=obs.spans, windows=obs.engine,
+                         counter_prefixes=["nic.0.port"])
+    json.dumps(trace)  # must be serializable as-is
+    counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+    names = {e["name"] for e in counters}
+    assert any(n.endswith(".rate") for n in names)
+    assert any(n.endswith(".util") for n in names)
+    # timestamps are microseconds: all within the run's span
+    assert all(0 <= e["ts"] <= fabric.sim.now / 1e3 for e in counters)
+    # packet slices still present alongside the counter tracks
+    assert any(e.get("ph") == "X" for e in trace["traceEvents"])
+
+
+def test_chrome_trace_without_windows_unchanged():
+    fabric = malbec_mini().build()
+    obs = fabric.attach_observer(window_ns=5_000.0)
+    fabric.send(0, 41, 8 * KiB)
+    fabric.sim.run()
+    obs.stop()
+    trace = chrome_trace(spans=obs.spans)
+    assert not [e for e in trace["traceEvents"] if e.get("ph") == "C"]
