@@ -25,6 +25,15 @@ Two global options come *before* the subcommand:
 * sweep subcommands take ``--jobs N`` to fan independent cells over a
   process pool (0 = all cores / ``REPRO_JOBS``) with bit-identical
   output.
+
+Sweep subcommands (``heatmap``, ``allocation``, ``chaos``) also take the
+supervised-campaign flags — ``--cell-timeout`` / ``--retries`` /
+``--journal`` / ``--resume`` — which run the cells under
+:mod:`repro.resilient`: hung or killed workers are retried with
+deterministic backoff, exhausted cells are quarantined as holes, and a
+journaled campaign resumes after a crash computing only the missing
+cells.  ``observe`` and non-curve ``chaos`` accept ``--cell-timeout`` as
+an in-sim watchdog: a wedged run exits with stall diagnostics.
 """
 
 from __future__ import annotations
@@ -163,8 +172,68 @@ def _jobs_arg(args) -> "int | None":
     return None if args.jobs == 0 else args.jobs
 
 
+def _add_resilience_args(p) -> None:
+    """The supervised-sweep flag group shared by the sweep subcommands."""
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="crash-safe per-cell result journal (JSONL); "
+                        "enables --resume")
+    p.add_argument("--resume", action="store_true",
+                   help="skip cells already completed in --journal and "
+                        "compute only the missing ones")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock budget per sweep cell; a wedged worker "
+                        "is killed (the in-sim watchdog usually trips first "
+                        "with stall diagnostics) and the cell retried")
+    p.add_argument("--retries", type=int, default=None,
+                   help="retry budget per failing cell before it is "
+                        "quarantined as a hole in the sweep (default 2 "
+                        "when supervision is enabled)")
+
+
+def _resilience_arg(args):
+    """Build a ResilienceConfig from the CLI flags (None = legacy path)."""
+    if (
+        args.journal is None
+        and not args.resume
+        and args.cell_timeout is None
+        and args.retries is None
+    ):
+        return None
+    from .resilient import ResilienceConfig, RetryPolicy
+
+    if args.resume and args.journal is None:
+        raise SystemExit("--resume requires --journal PATH")
+    retries = args.retries if args.retries is not None else 2
+    return ResilienceConfig(
+        cell_timeout_s=args.cell_timeout,
+        retry=RetryPolicy(retries=retries),
+        journal=args.journal,
+        resume=args.resume,
+    )
+
+
+def _print_harness_summary() -> None:
+    """Print nonzero campaign-harness counters (retries, quarantines, ...)."""
+    from .resilient import harness_summary_rows
+
+    rows = harness_summary_rows()
+    if rows:
+        print()
+        print(render_table(["harness counter", "value"], rows,
+                           title="Campaign supervision"))
+
+
+def _quarantine_report(failures) -> None:
+    for f in failures:
+        print(f"QUARANTINED: {f.render()}", file=sys.stderr)
+
+
 def cmd_heatmap(args) -> int:
+    import math
+
     from .analysis import render_heatmap
+    from .resilient import CellFailure
     from .sweeps import app_victims, micro_victims, run_heatmap
 
     config = _get_system(args.system)()
@@ -175,6 +244,7 @@ def cmd_heatmap(args) -> int:
         "apps": app_victims,
         "all": lambda: {**app_victims(), **micro_victims()},
     }[args.victims]()
+    resilience = _resilience_arg(args)
     rows, cols, values = run_heatmap(
         config,
         victims,
@@ -184,7 +254,15 @@ def cmd_heatmap(args) -> int:
         seed=args.seed,
         max_ns=args.budget_ms * MS,
         jobs=_jobs_arg(args),
+        resilience=resilience,
     )
+    # quarantined cells render as NaN holes; the sweep still completes
+    failures = [v for row in values for v in row if isinstance(v, CellFailure)]
+    if failures:
+        values = [
+            [math.nan if isinstance(v, CellFailure) else v for v in row]
+            for row in values
+        ]
     print(
         render_heatmap(
             rows,
@@ -196,12 +274,16 @@ def cmd_heatmap(args) -> int:
             ),
         )
     )
-    return 0
+    if resilience is not None:
+        _quarantine_report(failures)
+        _print_harness_summary()
+    return 1 if failures else 0
 
 
 def cmd_allocation(args) -> int:
     import numpy as np
 
+    from .resilient import CellFailure
     from .sweeps import micro_victims, run_heatmap
 
     config = _get_system(args.system)()
@@ -212,6 +294,8 @@ def cmd_allocation(args) -> int:
         for k, v in micro_victims().items()
         if k in ("allreduce-8B", "alltoall-128K", "pingpong-8B")
     }
+    resilience = _resilience_arg(args)
+    n_failures = 0
     out_rows = []
     for policy in ("linear", "interleaved", "random"):
         _, _, values = run_heatmap(
@@ -223,8 +307,14 @@ def cmd_allocation(args) -> int:
             seed=args.seed,
             max_ns=args.budget_ms * MS,
             jobs=_jobs_arg(args),
+            resilience=resilience,
         )
-        arr = np.array([v for row in values for v in row])
+        flat = [v for row in values for v in row]
+        failures = [v for v in flat if isinstance(v, CellFailure)]
+        n_failures += len(failures)
+        if failures:
+            _quarantine_report(failures)
+        arr = np.array([v for v in flat if not isinstance(v, CellFailure)])
         out_rows.append(
             [
                 policy,
@@ -243,7 +333,9 @@ def cmd_allocation(args) -> int:
             ),
         )
     )
-    return 0
+    if resilience is not None:
+        _print_harness_summary()
+    return 1 if n_failures else 0
 
 
 def cmd_qos(args) -> int:
@@ -381,7 +473,17 @@ def cmd_observe(args) -> int:
                 fabric.send(src, tgt, args.size)
         for _ in range(4):
             fabric.send(victim_src, victim_dst, 16 * KiB)
-    fabric.sim.run()
+    if args.cell_timeout is not None:
+        from .sim import SimStall
+
+        fabric.sim.watchdog(wall_deadline_s=args.cell_timeout)
+        try:
+            fabric.sim.run()
+        except SimStall as stall:
+            print(f"STALLED: {stall}", file=sys.stderr)
+            return 1
+    else:
+        fabric.sim.run()
     obs.stop()
 
     sim = fabric.sim
@@ -412,19 +514,25 @@ def cmd_observe(args) -> int:
 
 def cmd_chaos(args) -> int:
     from .faults import FaultSchedule, chaos_run, degradation_curve, link_fail
+    from .resilient import CellFailure
 
     config = _get_system(args.system)()
+    resilience = _resilience_arg(args)
 
     if args.curve:
         rows = degradation_curve(
-            config, max_ns=args.budget_ms * MS, jobs=_jobs_arg(args)
+            config, max_ns=args.budget_ms * MS, jobs=_jobs_arg(args),
+            resilience=resilience,
         )
+        failures = [r for r in rows if isinstance(r, CellFailure)]
         print(
             render_table(
                 ["failed links", "live links", "completed", "goodput",
                  "vs healthy"],
                 [
-                    [
+                    [f"(cell {r.index})", "-", "QUARANTINED", r.kind, "-"]
+                    if isinstance(r, CellFailure)
+                    else [
                         r["k_failed"],
                         r["links_live"],
                         f"{r['messages_completed']}/{r['messages_sent']}",
@@ -439,6 +547,11 @@ def cmd_chaos(args) -> int:
                 ),
             )
         )
+        if resilience is not None:
+            _quarantine_report(failures)
+            _print_harness_summary()
+        if failures:
+            return 1
         if args.require_lossless and any(
             r["messages_completed"] != r["messages_sent"] for r in rows
         ):
@@ -469,13 +582,20 @@ def cmd_chaos(args) -> int:
             switch_faults=args.switch_faults,
         )
 
-    result = chaos_run(
-        config,
-        schedule,
-        messages=args.messages,
-        seed=args.seed,
-        max_ns=args.budget_ms * MS,
-    )
+    from .sim import SimStall, default_watchdog
+
+    try:
+        with default_watchdog(wall_deadline_s=args.cell_timeout):
+            result = chaos_run(
+                config,
+                schedule,
+                messages=args.messages,
+                seed=args.seed,
+                max_ns=args.budget_ms * MS,
+            )
+    except SimStall as stall:
+        print(f"STALLED: {stall}", file=sys.stderr)
+        return 1
     rows = [
         ["system", config.name],
         ["messages", f"{result['messages_completed']}/{result['messages_sent']} completed"],
@@ -602,6 +722,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=0,
                    help="worker processes for the grid cells "
                         "(0 = all cores / REPRO_JOBS)")
+    _add_resilience_args(p)
     p.set_defaults(fn=cmd_heatmap)
 
     p = sub.add_parser(
@@ -615,6 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=0,
                    help="worker processes for the grid cells "
                         "(0 = all cores / REPRO_JOBS)")
+    _add_resilience_args(p)
     p.set_defaults(fn=cmd_allocation)
 
     p = sub.add_parser("qos", help="traffic-class bandwidth timeline (Fig. 14)")
@@ -667,6 +789,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="hot links / shared ports to show per report")
     p.add_argument("--sample-rate", type=float, default=1.0,
                    help="fraction of packets given lifecycle spans")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock watchdog for the run: a wedged "
+                        "simulation exits with stall diagnostics instead "
+                        "of hanging")
     p.set_defaults(fn=cmd_observe)
 
     p = sub.add_parser(
@@ -692,6 +819,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=0,
                    help="worker processes for the --curve k-points "
                         "(0 = all cores / REPRO_JOBS)")
+    _add_resilience_args(p)
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(

@@ -130,6 +130,7 @@ def degradation_curve(
     msg_bytes: int = 256 * KiB,
     max_ns: float = 120_000_000.0,
     jobs: Optional[int] = 1,
+    resilience=None,
 ):
     """Cross-group bandwidth with k failed parallel global links.
 
@@ -144,9 +145,14 @@ def degradation_curve(
 
     The k-points are independent simulations; ``jobs`` fans them out via
     :func:`repro.parallel.run_cells` (``None`` = all cores), with rows
-    guaranteed cell-for-cell identical to a serial run.
+    guaranteed cell-for-cell identical to a serial run.  *resilience*
+    (a :class:`repro.resilient.ResilienceConfig`) runs the sweep under
+    the supervised pool — quarantined k-points come back as
+    :class:`repro.resilient.CellFailure` holes with no ``relative``
+    entry, and a journaled sweep resumes after a crash.
     """
     from ..parallel import run_cells
+    from ..resilient import CellFailure
 
     links_per_pair = config.params.links_per_pair
     if ks is None:
@@ -158,9 +164,15 @@ def degradation_curve(
                 f"{links_per_pair} parallel links alive"
             )
     cells = [(config, gi, gj, k, msg_bytes, max_ns) for k in ks]
-    rows = run_cells(_curve_cell, cells, jobs=jobs)
-    base = rows[0]["goodput_gbps"] if rows else 0.0
+    rows = run_cells(_curve_cell, cells, jobs=jobs, resilience=resilience)
+    base = (
+        rows[0]["goodput_gbps"]
+        if rows and not isinstance(rows[0], CellFailure)
+        else 0.0
+    )
     for i, row in enumerate(rows):
+        if isinstance(row, CellFailure):
+            continue
         row["relative"] = 1.0 if i == 0 else (
             row["goodput_gbps"] / base if base else 0.0
         )

@@ -202,6 +202,9 @@ class Fabric:
         self.auditor = None
         #: links a fail_switch() brought down, per switch (for restore)
         self._switch_downed: Dict[int, List[tuple]] = {}
+        # If the engine watchdog ever trips, its SimStall should carry the
+        # fabric's quiescence snapshot (stuck packets, deepest VOQ, ...).
+        self.sim.stall_diagnostics = self.quiescence_snapshot
 
     def _nic_lookup(self, node: int) -> NIC:
         return self.nics[node]
@@ -509,44 +512,108 @@ class Fabric:
         total += sum(port.pkts_dropped for _, port in self.all_ports())
         return total
 
-    def _stuck_report(self, limit: int = 12) -> str:
-        """Where undelivered packets are parked right now (diagnostics for
-        assert_quiescent failures, essential when debugging fault runs)."""
+    def quiescence_snapshot(self) -> dict:
+        """Structured view of everything still in flight right now.
+
+        Plain data only (strings / numbers / lists / dicts), so it can
+        cross a worker pipe or land in a result journal verbatim.  This
+        is the single source of quiescence diagnostics: rendered by
+        :meth:`_stuck_report` for ``assert_quiescent`` failures and
+        attached to :class:`~repro.sim.SimStall` by the engine watchdog
+        (the simulator's ``stall_diagnostics`` hook is registered at
+        build time).
+        """
         now = self.sim.now
-        entries = []
+        stuck = []
+        deepest = None
 
         def port_entry(where, port):
+            nonlocal deepest
             pkts = [p for q in port.queues for p in q]
             if not pkts and port.backlog == 0:
                 return
-            line = (
-                f"  {where} port {port.name or port.kind}: "
-                f"backlog {port.backlog:.0f}B, {len(pkts)} queued"
-            )
+            entry = {
+                "where": where,
+                "port": port.name or port.kind,
+                "backlog_bytes": float(port.backlog),
+                "queued_pkts": len(pkts),
+            }
             if pkts:
                 oldest = min(pkts, key=lambda p: (p.inject_time, p.pid))
-                line += (
-                    f", oldest pkt {oldest.pid} ({oldest.src}->{oldest.dst}"
-                    f", seq {oldest.seq}) age {now - oldest.inject_time:.0f}ns"
-                )
-            entries.append(line)
+                entry["oldest"] = {
+                    "pid": oldest.pid,
+                    "src": oldest.src,
+                    "dst": oldest.dst,
+                    "seq": oldest.seq,
+                    "age_ns": now - oldest.inject_time,
+                }
+            if deepest is None or entry["queued_pkts"] > deepest["queued_pkts"]:
+                deepest = {
+                    "port": f"{where} port {entry['port']}",
+                    "queued_pkts": entry["queued_pkts"],
+                    "backlog_bytes": entry["backlog_bytes"],
+                }
+            stuck.append(entry)
 
         for sw in self.switches:
             for port in sw.all_ports():
                 port_entry(f"switch {sw.id}", port)
+        host_pending = []
+        awaiting_ack = []
         for nic in self.nics:
             port_entry(f"nic {nic.node}", nic.out_port)
             pending = sum(s.pending_count for s in nic.pairs.values())
             if pending:
-                entries.append(
-                    f"  nic {nic.node}: {pending} pkts pending in host memory"
-                )
+                host_pending.append({"nic": nic.node, "pending_pkts": pending})
             if nic.retrans is not None and nic.retrans.outstanding:
                 keys = sorted(nic.retrans.outstanding)[:4]
-                entries.append(
-                    f"  nic {nic.node}: {len(nic.retrans.outstanding)} pkts "
-                    f"awaiting e2e ack/retransmit (mid, seq): {keys}"
+                awaiting_ack.append(
+                    {
+                        "nic": nic.node,
+                        "outstanding": len(nic.retrans.outstanding),
+                        "oldest_keys": [list(k) for k in keys],
+                    }
                 )
+        return {
+            "now_ns": now,
+            "injected": self.packets_injected(),
+            "delivered": self.packets_delivered(),
+            "dropped": self.packets_dropped(),
+            "stuck": stuck,
+            "deepest_voq": deepest,
+            "host_pending": host_pending,
+            "awaiting_ack": awaiting_ack,
+        }
+
+    def _stuck_report(self, limit: int = 12) -> str:
+        """Where undelivered packets are parked right now (diagnostics for
+        assert_quiescent failures, essential when debugging fault runs).
+        Rendered from :meth:`quiescence_snapshot`."""
+        snap = self.quiescence_snapshot()
+        entries = []
+        for e in snap["stuck"]:
+            line = (
+                f"  {e['where']} port {e['port']}: "
+                f"backlog {e['backlog_bytes']:.0f}B, {e['queued_pkts']} queued"
+            )
+            oldest = e.get("oldest")
+            if oldest:
+                line += (
+                    f", oldest pkt {oldest['pid']} ({oldest['src']}->"
+                    f"{oldest['dst']}, seq {oldest['seq']}) "
+                    f"age {oldest['age_ns']:.0f}ns"
+                )
+            entries.append(line)
+        for h in snap["host_pending"]:
+            entries.append(
+                f"  nic {h['nic']}: {h['pending_pkts']} pkts pending in host memory"
+            )
+        for a in snap["awaiting_ack"]:
+            keys = [tuple(k) for k in a["oldest_keys"]]
+            entries.append(
+                f"  nic {a['nic']}: {a['outstanding']} pkts "
+                f"awaiting e2e ack/retransmit (mid, seq): {keys}"
+            )
         if not entries:
             return ""
         shown = entries[:limit]

@@ -17,20 +17,81 @@ those cells out over a process pool while keeping the results
   cross-cell globals in the package are diagnostic id counters
   (packet/message ids), which never feed back into behaviour.
 
-The runner degrades gracefully: ``jobs=1`` (or a single cell, or an
-unpicklable worker/cell) runs serially in-process, bit-identical to the
-pool result.  ``REPRO_JOBS`` overrides the default worker count.
+The runner degrades gracefully: ``jobs=1`` (or a single cell) runs
+serially in-process, bit-identical to the pool result; an unpicklable
+worker/cell set also degrades to serial, but *audibly* — a
+:class:`SerialFallbackWarning` plus a ``harness.serial_fallbacks``
+telemetry counter, so a "parallel" sweep that quietly ran on one core
+is diagnosable.  ``REPRO_JOBS`` overrides the default worker count.
+
+A worker exception no longer throws away every finished cell: both the
+serial and the pool path raise :class:`CellExecutionError`, which names
+the failing cell (index + repr) and carries every completed result on
+``.completed``.
+
+For campaigns that must *survive* faults — hung cells, OOM-killed
+workers, restarts — pass ``resilience=``
+(:class:`repro.resilient.ResilienceConfig`): execution then moves to the
+supervised pool in :mod:`repro.resilient` (per-cell timeouts, retry with
+deterministic backoff, quarantine, crash-safe journal, ``--resume``).
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from typing import Any, Callable, Iterable, List, Optional
+import traceback
+import warnings
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from .sim.rng import stable_hash
 
-__all__ = ["run_cells", "default_jobs", "cell_seed"]
+__all__ = [
+    "run_cells",
+    "default_jobs",
+    "cell_seed",
+    "CellExecutionError",
+    "SerialFallbackWarning",
+]
+
+
+class SerialFallbackWarning(RuntimeWarning):
+    """A sweep that was asked to run in parallel degraded to one core."""
+
+
+class CellExecutionError(RuntimeError):
+    """A sweep cell raised; completed results are preserved, not lost.
+
+    Attributes: ``index`` (position of the failing cell), ``cell`` (its
+    truncated repr), ``kind`` (failure class, e.g. ``"error"`` /
+    ``"timeout"``), and ``completed`` — a ``{index: result}`` dict of
+    every cell that finished before the sweep aborted (already journaled
+    when a journal is configured).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        cell_repr: str,
+        message: str,
+        completed: Optional[Dict[int, Any]] = None,
+        kind: str = "error",
+    ):
+        self.index = index
+        self.cell = cell_repr
+        self.kind = kind
+        self.completed = dict(completed or {})
+        super().__init__(
+            f"cell {index} ({cell_repr}) failed [{kind}]: {message} — "
+            f"{len(self.completed)} completed cell result(s) preserved on "
+            f".completed"
+        )
+
+
+def short_repr(obj: Any, limit: int = 120) -> str:
+    """``repr`` clamped for error messages and failure records."""
+    r = repr(obj)
+    return r if len(r) <= limit else r[: limit - 3] + "..."
 
 
 def default_jobs() -> int:
@@ -64,29 +125,97 @@ def _picklable(*objs: Any) -> bool:
         return False
 
 
+def _run_serial(worker: Callable[[Any], Any], cells: List[Any]) -> List[Any]:
+    """In-process map that keeps finished results when a cell raises."""
+    results: List[Any] = []
+    for i, cell in enumerate(cells):
+        try:
+            results.append(worker(cell))
+        except Exception as exc:
+            raise CellExecutionError(
+                i,
+                short_repr(cell),
+                f"{type(exc).__name__}: {exc}",
+                completed=dict(enumerate(results)),
+            ) from exc
+    return results
+
+
+class _Trapped:
+    """Worker wrapper for the pool path: exceptions come back as values,
+    so one crashing cell cannot discard its siblings' finished results.
+    Picklable iff the wrapped worker is (checked before use)."""
+
+    __slots__ = ("worker",)
+
+    def __init__(self, worker: Callable[[Any], Any]):
+        self.worker = worker
+
+    def __call__(self, cell):
+        try:
+            return ("ok", self.worker(cell))
+        except Exception as exc:
+            return (
+                "err",
+                f"{type(exc).__name__}: {exc}",
+                traceback.format_exc(limit=20),
+            )
+
+
+def _warn_serial_fallback(reason: str) -> None:
+    from .resilient.metrics import harness_counter
+
+    harness_counter("serial_fallbacks").inc()
+    warnings.warn(
+        f"run_cells degraded to serial in-process execution: {reason}",
+        SerialFallbackWarning,
+        stacklevel=3,
+    )
+
+
 def run_cells(
     worker: Callable[[Any], Any],
     cells: Iterable[Any],
     jobs: Optional[int] = None,
+    *,
+    resilience: "Optional[Any]" = None,
 ) -> List[Any]:
     """Map *worker* over *cells*, possibly across processes.
 
     Returns ``[worker(cell) for cell in cells]`` — same values, same
     order, regardless of *jobs*.  Serial execution is chosen when
-    ``jobs`` resolves to 1, when there is at most one cell, or when the
-    worker/cells cannot be pickled (lambdas, closures); a worker
-    exception propagates to the caller either way.
+    ``jobs`` resolves to 1, when there is at most one cell, or (with a
+    :class:`SerialFallbackWarning`) when the worker/cells cannot be
+    pickled (lambdas, closures).  A worker exception is re-raised as
+    :class:`CellExecutionError` naming the failing cell and carrying the
+    finished results.
+
+    *resilience* (a :class:`repro.resilient.ResilienceConfig`) routes
+    the sweep through the supervised pool instead: per-cell wall-clock
+    timeouts, worker-death detection, capped deterministic-jitter retry,
+    quarantine into :class:`repro.resilient.CellFailure` holes, a
+    crash-safe result journal, and resume.
     """
     cells = list(cells)
     if jobs is None:
         jobs = default_jobs()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    jobs = min(jobs, len(cells))
+    jobs = max(1, min(jobs, len(cells)))
+
+    if resilience is not None:
+        from .resilient import run_supervised
+
+        return run_supervised(worker, cells, jobs=jobs, config=resilience)
+
     if jobs <= 1:
-        return [worker(cell) for cell in cells]
+        return _run_serial(worker, cells)
     if not _picklable(worker, cells):
-        return [worker(cell) for cell in cells]
+        _warn_serial_fallback(
+            "worker or cells are not picklable; pass module-level "
+            "functions/partials to use the process pool"
+        )
+        return _run_serial(worker, cells)
 
     import multiprocessing as mp
 
@@ -97,4 +226,17 @@ def run_cells(
     except ValueError:  # pragma: no cover - non-POSIX platforms
         ctx = mp.get_context()
     with ctx.Pool(processes=jobs) as pool:
-        return pool.map(worker, cells)
+        wrapped = pool.map(_Trapped(worker), cells)
+    results: Dict[int, Any] = {}
+    first_err = None
+    for i, item in enumerate(wrapped):
+        if item[0] == "ok":
+            results[i] = item[1]
+        elif first_err is None:
+            first_err = (i, item[1], item[2])
+    if first_err is not None:
+        i, message, tb = first_err
+        raise CellExecutionError(
+            i, short_repr(cells[i]), f"{message}\n{tb}", completed=results
+        )
+    return [results[i] for i in range(len(cells))]

@@ -1,0 +1,202 @@
+"""Crash-safe per-cell result journal for resumable sweeps.
+
+A campaign that dies at cell 900/1000 must not recompute the first 900.
+The journal is a JSONL file with one record per completed cell, keyed by
+a stable identity:
+
+* ``worker`` — fingerprint of the worker callable (module + qualname),
+  so a journal written for one sweep kind never satisfies another;
+* ``index`` — the cell's position in the sweep, preserving the "same
+  values, same order" contract (two identical cells at different
+  positions each get their own record);
+* ``cell`` — content fingerprint of the cell payload itself, so editing
+  a parameter invalidates the stale record instead of silently reusing
+  it.
+
+Writes are atomic: every :meth:`ResultJournal.record_ok` rewrites the
+file via temp + ``os.replace`` in the same directory, so the journal on
+disk is *always* a complete, parseable JSONL document — a SIGKILL
+between any two syscalls leaves either the old file or the new one,
+never a torn line.  (Campaign cells are whole simulations; an O(cells)
+rewrite per record is noise next to one cell's runtime.)  Loading is
+tolerant anyway: undecodable lines are counted and skipped, not fatal.
+
+Results are stored as JSON when they round-trip exactly (including
+container types — a tuple would come back as a list, so it does *not*
+round-trip) and otherwise as base64 pickle, preserving "resumed == rerun"
+bit-for-bit for arbitrary worker return values.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ResultJournal", "worker_fingerprint", "cell_fingerprint"]
+
+_VERSION = 1
+
+
+def worker_fingerprint(worker: Any) -> str:
+    """Stable identity of the worker callable (module + qualified name)."""
+    module = getattr(worker, "__module__", type(worker).__module__)
+    qualname = getattr(worker, "__qualname__", type(worker).__qualname__)
+    label = f"{module}:{qualname}"
+    return hashlib.blake2b(label.encode(), digest_size=8).hexdigest()
+
+
+def cell_fingerprint(cell: Any) -> str:
+    """Content hash of one cell payload.
+
+    Pickle bytes when possible (stable for the configs/partials/scalars
+    sweeps are built from), falling back to ``repr`` for unpicklable
+    cells so even closure-driven serial sweeps can journal.
+    """
+    try:
+        payload = pickle.dumps(cell, protocol=4)
+    except Exception:
+        payload = repr(cell).encode()
+    return hashlib.blake2b(payload, digest_size=12).hexdigest()
+
+
+def _encode_result(obj: Any) -> Dict[str, Any]:
+    try:
+        s = json.dumps(obj)
+        if json.loads(s) == obj:
+            return {"json": obj}
+    except (TypeError, ValueError):
+        pass
+    return {"pickle": base64.b64encode(pickle.dumps(obj, protocol=4)).decode("ascii")}
+
+
+def _decode_result(enc: Dict[str, Any]) -> Any:
+    if "json" in enc:
+        return enc["json"]
+    return pickle.loads(base64.b64decode(enc["pickle"]))
+
+
+class ResultJournal:
+    """Append-only (logically) journal of completed / failed cells.
+
+    One instance owns one path; the supervising parent is the only
+    writer.  Records live in memory keyed ``(worker, index, cell)`` and
+    the file is atomically rewritten on every mutation.
+    """
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        #: (worker, index, cell) -> record dict
+        self._records: Dict[Tuple[str, int, str], Dict[str, Any]] = {}
+        #: lines that failed to parse on load (diagnosability, not fatal)
+        self.corrupt_lines = 0
+        self._load()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                    key = (rec["worker"], int(rec["index"]), rec["cell"])
+                    if rec.get("v") != _VERSION:
+                        raise ValueError(f"unknown journal version {rec.get('v')}")
+                except (ValueError, KeyError, TypeError):
+                    self.corrupt_lines += 1
+                    continue
+                self._records[key] = rec
+
+    def _flush(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd, tmp = tempfile.mkstemp(
+            prefix=os.path.basename(self.path) + ".", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for rec in self._records.values():
+                    fh.write(json.dumps(rec, separators=(",", ":")))
+                    fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- recording -----------------------------------------------------------
+
+    def record_ok(
+        self,
+        worker_fp: str,
+        index: int,
+        cell_fp: str,
+        result: Any,
+        attempts: int = 1,
+    ) -> None:
+        self._records[(worker_fp, index, cell_fp)] = {
+            "v": _VERSION,
+            "worker": worker_fp,
+            "index": index,
+            "cell": cell_fp,
+            "status": "ok",
+            "attempts": attempts,
+            "result": _encode_result(result),
+        }
+        self._flush()
+
+    def record_failure(
+        self,
+        worker_fp: str,
+        index: int,
+        cell_fp: str,
+        *,
+        kind: str,
+        error: str,
+        attempts: int,
+        diagnostics: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Journal a quarantined cell (forensics only — a later ``--resume``
+        recomputes failed cells rather than resurrecting the failure)."""
+        self._records[(worker_fp, index, cell_fp)] = {
+            "v": _VERSION,
+            "worker": worker_fp,
+            "index": index,
+            "cell": cell_fp,
+            "status": "failed",
+            "kind": kind,
+            "error": error,
+            "attempts": attempts,
+            "diagnostics": _encode_result(diagnostics) if diagnostics else None,
+        }
+        self._flush()
+
+    # -- queries -------------------------------------------------------------
+
+    def lookup_ok(self, worker_fp: str, index: int, cell_fp: str) -> Optional[Any]:
+        """The journaled result for this exact cell identity, as a
+        one-element tuple (``None`` = not journaled / not ok) — the
+        wrapper distinguishes "no record" from a recorded ``None``."""
+        rec = self._records.get((worker_fp, index, cell_fp))
+        if rec is None or rec.get("status") != "ok":
+            return None
+        return (_decode_result(rec["result"]),)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All records, journal order (insertion = completion order)."""
+        return list(self._records.values())

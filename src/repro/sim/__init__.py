@@ -6,7 +6,14 @@ blocking resources (:class:`Store`, :class:`Credits`, :class:`Gate`),
 seeded RNG streams (:class:`RngFactory`) and measurement recorders.
 """
 
-from .engine import Event, Simulator, StopSimulation
+from .engine import (
+    Event,
+    SimStall,
+    Simulator,
+    StopSimulation,
+    default_watchdog,
+    set_default_watchdog,
+)
 from .process import AllOf, AnyOf, Interrupt, Process
 from .resources import Credits, Gate, Store
 from .rng import RngFactory, stable_hash
@@ -16,6 +23,9 @@ __all__ = [
     "Simulator",
     "Event",
     "StopSimulation",
+    "SimStall",
+    "set_default_watchdog",
+    "default_watchdog",
     "Process",
     "Interrupt",
     "AllOf",

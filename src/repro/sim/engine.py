@@ -24,11 +24,20 @@ units are used consistently across the whole package; see
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import time
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-__all__ = ["Simulator", "Event", "StopSimulation", "TimerHandle"]
+__all__ = [
+    "Simulator",
+    "Event",
+    "StopSimulation",
+    "TimerHandle",
+    "SimStall",
+    "set_default_watchdog",
+    "default_watchdog",
+]
 
 #: Absolute-time deltas smaller than this are float drift, not user error:
 #: repeated ``now + rto`` style arithmetic can land an attoseconds-stale
@@ -38,6 +47,134 @@ _NEGATIVE_DRIFT_NS = 1e-6
 
 class StopSimulation(Exception):
     """Raised internally to stop :meth:`Simulator.run` early."""
+
+
+class SimStall(RuntimeError):
+    """A watchdog limit tripped: the simulation is wedged (or runaway).
+
+    Carries enough context to *classify* the stall without a debugger:
+    which guard fired, the simulated clock and event count at the trip,
+    queue depths, the timestamp of the next pending event, and — when the
+    owning fabric registered :attr:`Simulator.stall_diagnostics` — a
+    structured quiescence snapshot (stuck packets, deepest VOQ, pending
+    retransmissions).  The campaign harness (:mod:`repro.resilient`)
+    ships this across the worker pipe so a wedged cell is killed,
+    classified, and retried or quarantined instead of hanging the pool.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        now: float = 0.0,
+        events_processed: int = 0,
+        queue_length: int = 0,
+        live_queue_length: int = 0,
+        next_event_ns: Optional[float] = None,
+        diagnostics: Optional[Dict[str, Any]] = None,
+    ):
+        self.reason = reason
+        self.now = now
+        self.events_processed = events_processed
+        self.queue_length = queue_length
+        self.live_queue_length = live_queue_length
+        self.next_event_ns = next_event_ns
+        self.diagnostics = diagnostics
+        super().__init__(self._describe())
+
+    def _describe(self) -> str:
+        msg = (
+            f"simulation stalled ({self.reason}): now={self.now:.0f}ns, "
+            f"{self.events_processed} events processed, "
+            f"{self.live_queue_length} live / {self.queue_length} queued entries"
+        )
+        if self.next_event_ns is not None:
+            msg += f", next event at {self.next_event_ns:.0f}ns"
+        if self.diagnostics:
+            stuck = self.diagnostics.get("stuck") or []
+            if stuck:
+                msg += f"; {len(stuck)} stuck location(s)"
+            deepest = self.diagnostics.get("deepest_voq")
+            if deepest:
+                msg += (
+                    f"; deepest VOQ {deepest.get('port')} "
+                    f"({deepest.get('queued_pkts')} pkts)"
+                )
+        return msg
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data view (journal records, cross-process failure reports)."""
+        return {
+            "reason": self.reason,
+            "now": self.now,
+            "events_processed": self.events_processed,
+            "queue_length": self.queue_length,
+            "live_queue_length": self.live_queue_length,
+            "next_event_ns": self.next_event_ns,
+            "diagnostics": self.diagnostics,
+        }
+
+
+#: process-wide watchdog applied to every *new* Simulator (see
+#: :func:`set_default_watchdog`).  None = no guards, default hot loop.
+_DEFAULT_WATCHDOG: Optional[tuple] = None
+
+
+def _watchdog_tuple(
+    max_events: Optional[int],
+    max_sim_time_ns: Optional[float],
+    wall_deadline_s: Optional[float],
+) -> Optional[tuple]:
+    for name, v in (
+        ("max_events", max_events),
+        ("max_sim_time_ns", max_sim_time_ns),
+        ("wall_deadline_s", wall_deadline_s),
+    ):
+        if v is not None and v <= 0:
+            raise ValueError(f"watchdog {name} must be positive, got {v}")
+    if max_events is None and max_sim_time_ns is None and wall_deadline_s is None:
+        return None
+    return (max_events, max_sim_time_ns, wall_deadline_s)
+
+
+def set_default_watchdog(
+    max_events: Optional[int] = None,
+    max_sim_time_ns: Optional[float] = None,
+    wall_deadline_s: Optional[float] = None,
+) -> None:
+    """Arm (or, with no arguments, disarm) a process-wide default watchdog.
+
+    Every :class:`Simulator` constructed *after* this call starts with the
+    given guards, exactly as if :meth:`Simulator.watchdog` had been called
+    on it.  This is how the campaign harness arms in-sim watchdogs inside
+    worker functions it cannot modify: the supervisor sets the default in
+    the child process before invoking the cell worker, and every fabric
+    the cell builds inherits the guards.  Existing simulators are
+    untouched; passing no limits restores the unguarded default.
+    """
+    global _DEFAULT_WATCHDOG
+    _DEFAULT_WATCHDOG = _watchdog_tuple(
+        max_events, max_sim_time_ns, wall_deadline_s
+    )
+
+
+@contextlib.contextmanager
+def default_watchdog(
+    max_events: Optional[int] = None,
+    max_sim_time_ns: Optional[float] = None,
+    wall_deadline_s: Optional[float] = None,
+):
+    """Context manager form of :func:`set_default_watchdog` (restores the
+    previous default on exit, even on error)."""
+    global _DEFAULT_WATCHDOG
+    prev = _DEFAULT_WATCHDOG
+    _DEFAULT_WATCHDOG = _watchdog_tuple(
+        max_events, max_sim_time_ns, wall_deadline_s
+    )
+    try:
+        yield
+    finally:
+        _DEFAULT_WATCHDOG = prev
 
 
 class TimerHandle:
@@ -185,6 +322,14 @@ class Simulator:
         #: determinism differ); None routes run() to the unhooked hot
         #: loop, so a hookless run pays nothing per event
         self.event_hook: Optional[Callable] = None
+        #: watchdog guards (max_events, max_sim_time_ns, wall_deadline_s);
+        #: None routes run() to the unguarded hot loop.  New simulators
+        #: inherit the process-wide default (set_default_watchdog).
+        self._watchdog: Optional[tuple] = _DEFAULT_WATCHDOG
+        #: zero-argument callable returning a plain-data quiescence
+        #: snapshot, attached to any SimStall this simulator raises.  The
+        #: fabric registers its quiescence_snapshot here at build time.
+        self.stall_diagnostics: Optional[Callable[[], Dict[str, Any]]] = None
 
     # -- scheduling -------------------------------------------------------
 
@@ -264,6 +409,30 @@ class Simulator:
         heapq.heapify(self._queue)
         self._dead = 0
 
+    def watchdog(
+        self,
+        max_events: Optional[int] = None,
+        max_sim_time_ns: Optional[float] = None,
+        wall_deadline_s: Optional[float] = None,
+    ) -> None:
+        """Arm in-sim stall guards (pass no limits to disarm).
+
+        * ``max_events`` — budget of *additional* events each subsequent
+          :meth:`run` may dispatch before raising :class:`SimStall`;
+        * ``max_sim_time_ns`` — ceiling on the simulated clock: the first
+          event scheduled past it trips the guard (unlike ``run(until=)``,
+          which silently stops — a watchdog trip is an *error*);
+        * ``wall_deadline_s`` — wall-clock budget per :meth:`run` call,
+          checked every few hundred events.
+
+        The guarded run loop is a separate code path: an unguarded
+        simulator keeps the default hot loop untouched (one ``is None``
+        check per run() call, nothing per event).
+        """
+        self._watchdog = _watchdog_tuple(
+            max_events, max_sim_time_ns, wall_deadline_s
+        )
+
     def event(self) -> Event:
         return Event(self)
 
@@ -285,6 +454,8 @@ class Simulator:
         When *until* is given, ``now`` is advanced to exactly *until* even
         if the queue drains earlier, matching SimPy semantics.
         """
+        if self._watchdog is not None:
+            return self._run_guarded(until)
         if self.event_hook is not None:
             return self._run_hooked(until)
         self._stopped = False
@@ -373,6 +544,95 @@ class Simulator:
             self._stopped = True
         self.last_run_wall_s = time.perf_counter() - wall_start
         self.last_run_events = self._events_processed - events_before
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
+
+    def _stall(self, reason: str) -> None:
+        """Raise :class:`SimStall` with queue context + fabric diagnostics."""
+        diag = None
+        if self.stall_diagnostics is not None:
+            try:
+                diag = self.stall_diagnostics()
+            except Exception as exc:  # diagnostics must never mask the stall
+                diag = {"error": f"diagnostics failed: {exc!r}"}
+        next_ns = self._queue[0][0] if self._queue else None
+        raise SimStall(
+            reason,
+            now=self.now,
+            events_processed=self._events_processed,
+            queue_length=len(self._queue),
+            live_queue_length=self.live_queue_length,
+            next_event_ns=next_ns,
+            diagnostics=diag,
+        )
+
+    def _run_guarded(self, until: Optional[float] = None) -> None:
+        """:meth:`run` variant taken when a watchdog is armed.
+
+        Dispatch order, timestamps, and event accounting are identical to
+        the default loop; the guards only *bound* how far it gets.  A
+        tripping guard pushes the undispatched entry back on the heap
+        (the queue stays consistent — a later run() with the watchdog
+        disarmed or widened resumes exactly where this one stopped) and
+        raises :class:`SimStall`.  Honors :attr:`event_hook` too, so the
+        determinism differ and a watchdog can coexist.
+        """
+        max_events, max_time, wall_s = self._watchdog
+        event_budget = (
+            self._events_processed + max_events if max_events is not None else None
+        )
+        wall_deadline = (
+            time.perf_counter() + wall_s if wall_s is not None else None
+        )
+        self._stopped = False
+        wall_start = time.perf_counter()
+        events_before = self._events_processed
+        queue = self._queue
+        pop = heapq.heappop
+        push = heapq.heappush
+        hook = self.event_hook
+        wall_countdown = 256
+        try:
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    break
+                entry = pop(queue)
+                t, _seq, fn, args = entry
+                if fn is None:
+                    handle = args
+                    fn = handle.fn
+                    if fn is None:
+                        self._dead -= 1
+                        continue
+                    args = handle.args
+                if max_time is not None and t > max_time:
+                    push(queue, entry)
+                    self._stall(f"sim time exceeded {max_time:.0f}ns")
+                if event_budget is not None and self._events_processed >= event_budget:
+                    push(queue, entry)
+                    self._stall(f"event budget of {max_events} exhausted")
+                if wall_deadline is not None:
+                    wall_countdown -= 1
+                    if wall_countdown <= 0:
+                        wall_countdown = 256
+                        if time.perf_counter() > wall_deadline:
+                            push(queue, entry)
+                            self._stall(f"wall-clock deadline of {wall_s}s exceeded")
+                if entry[2] is None:
+                    # cancellable entry survives dispatch: blank it now so a
+                    # late cancel() stays a no-op (mirrors the hot loop).
+                    handle.fn = None
+                    handle.args = ()
+                self.now = t
+                self._events_processed += 1
+                if hook is not None:
+                    hook(t, fn, args)
+                fn(*args)
+        except StopSimulation:
+            self._stopped = True
+        finally:
+            self.last_run_wall_s = time.perf_counter() - wall_start
+            self.last_run_events = self._events_processed - events_before
         if until is not None and not self._stopped and self.now < until:
             self.now = until
 

@@ -124,6 +124,7 @@ def run_heatmap(
     seed: int = 3,
     max_ns: float = MAX_NS,
     jobs: Optional[int] = 1,
+    resilience=None,
 ) -> Tuple[List[str], List[str], List[List[float]]]:
     """One Fig. 9-style heatmap: rows x victim columns of C = Tc/Ti.
 
@@ -131,6 +132,12 @@ def run_heatmap(
     :func:`repro.parallel.run_cells` (``None`` = all cores).  Cells are
     built row-major and the flat result list is reshaped back, so the
     grid is identical to a serial run regardless of *jobs*.
+
+    *resilience* (a :class:`repro.resilient.ResilienceConfig`) runs the
+    grid under the supervised pool: hung/killed cells are retried with
+    deterministic backoff, cells whose budget runs out appear in the
+    grid as :class:`repro.resilient.CellFailure` holes, and a journaled
+    sweep can resume after a crash computing only the missing cells.
     """
     rows = list(rows) if rows is not None else aggressor_rows()
     col_labels = list(victims)
@@ -143,7 +150,7 @@ def run_heatmap(
                 (config, victim_nodes, victims[name], aggressor_nodes,
                  congestor_factory, ppn, max_ns)
             )
-    flat = run_cells(_heatmap_cell, cells, jobs=jobs)
+    flat = run_cells(_heatmap_cell, cells, jobs=jobs, resilience=resilience)
     ncols = len(col_labels)
     values = [flat[i * ncols:(i + 1) * ncols] for i in range(len(rows))]
     return [r[0] for r in rows], col_labels, values

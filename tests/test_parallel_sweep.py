@@ -38,9 +38,17 @@ def test_run_cells_rejects_bad_jobs():
 
 
 def test_run_cells_falls_back_to_serial_for_closures():
-    # Lambdas can't pickle; the runner silently degrades to in-process.
-    got = run_cells(lambda x: x + 1, [1, 2, 3], jobs=2)
+    # Lambdas can't pickle; the runner degrades to in-process — but
+    # audibly, so a "parallel" sweep that ran on one core is diagnosable.
+    from repro.parallel import SerialFallbackWarning
+    from repro.resilient import harness_metrics
+
+    before = harness_metrics().snapshot()["harness.serial_fallbacks"]
+    with pytest.warns(SerialFallbackWarning, match="not picklable"):
+        got = run_cells(lambda x: x + 1, [1, 2, 3], jobs=2)
     assert got == [2, 3, 4]
+    after = harness_metrics().snapshot()["harness.serial_fallbacks"]
+    assert after == before + 1
 
 
 def test_cell_seed_is_stable_and_distinct():

@@ -1,0 +1,148 @@
+"""Result journal: crash-safe persistence keyed by cell identity.
+
+The journal's contract is narrow but strict: a record is only reusable
+for the *exact* (worker, index, cell-content) identity that wrote it,
+the file on disk is always a complete parseable JSONL document no
+matter where a crash lands, and a decoded result is indistinguishable
+from the freshly-computed one (tuples stay tuples, a recorded ``None``
+is distinguishable from "no record").
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.resilient import ResultJournal, cell_fingerprint, worker_fingerprint
+from repro.resilient.journal import _decode_result, _encode_result
+
+
+def _square(x):
+    return x * x
+
+
+def _other(x):
+    return x
+
+
+def test_worker_fingerprint_distinguishes_functions():
+    assert worker_fingerprint(_square) == worker_fingerprint(_square)
+    assert worker_fingerprint(_square) != worker_fingerprint(_other)
+
+
+def test_cell_fingerprint_tracks_content():
+    assert cell_fingerprint((1, "a")) == cell_fingerprint((1, "a"))
+    assert cell_fingerprint((1, "a")) != cell_fingerprint((1, "b"))
+    # unpicklable cells still fingerprint (repr fallback)
+    assert cell_fingerprint(lambda: None)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        42,
+        3.5,
+        "text",
+        [1, 2, 3],
+        {"goodput_gbps": 1.25, "relative": 1.0},
+        (1, 2),  # tuple must NOT degrade to list
+        {1: "int key"},  # int keys must NOT degrade to str keys
+        {"nested": [(0, 1.5), (1, 2.5)]},
+        float("inf"),
+    ],
+)
+def test_result_encoding_round_trips_exactly(value):
+    decoded = _decode_result(json.loads(json.dumps(_encode_result(value))))
+    assert decoded == value
+    assert type(decoded) is type(value)
+
+
+def test_round_trip_through_file(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    j = ResultJournal(path)
+    wfp = worker_fingerprint(_square)
+    cfp = cell_fingerprint(7)
+    j.record_ok(wfp, 0, cfp, (7, 49.0), attempts=2)
+
+    j2 = ResultJournal(path)
+    hit = j2.lookup_ok(wfp, 0, cfp)
+    assert hit == ((7, 49.0),)
+    assert isinstance(hit[0], tuple)
+    assert j2.records()[0]["attempts"] == 2
+
+
+def test_lookup_misses_on_any_key_change(tmp_path):
+    j = ResultJournal(str(tmp_path / "j.jsonl"))
+    wfp, cfp = worker_fingerprint(_square), cell_fingerprint(7)
+    j.record_ok(wfp, 3, cfp, 49)
+    assert j.lookup_ok(wfp, 3, cfp) == (49,)
+    assert j.lookup_ok(worker_fingerprint(_other), 3, cfp) is None  # other sweep
+    assert j.lookup_ok(wfp, 4, cfp) is None  # other position
+    assert j.lookup_ok(wfp, 3, cell_fingerprint(8)) is None  # edited cell
+
+
+def test_recorded_none_distinct_from_no_record(tmp_path):
+    j = ResultJournal(str(tmp_path / "j.jsonl"))
+    j.record_ok("w", 0, "c", None)
+    assert j.lookup_ok("w", 0, "c") == (None,)
+    assert j.lookup_ok("w", 1, "c") is None
+
+
+def test_failure_records_are_forensics_not_resumable(tmp_path):
+    j = ResultJournal(str(tmp_path / "j.jsonl"))
+    j.record_failure(
+        "w", 0, "c", kind="stall", error="event budget exhausted",
+        attempts=3, diagnostics={"stuck": []},
+    )
+    assert j.lookup_ok("w", 0, "c") is None  # resume recomputes failed cells
+    rec = ResultJournal(j.path).records()[0]
+    assert rec["status"] == "failed"
+    assert rec["kind"] == "stall"
+    assert rec["attempts"] == 3
+
+
+def test_rerecord_replaces_failure_with_success(tmp_path):
+    j = ResultJournal(str(tmp_path / "j.jsonl"))
+    j.record_failure("w", 0, "c", kind="timeout", error="", attempts=1)
+    j.record_ok("w", 0, "c", 99, attempts=2)
+    j2 = ResultJournal(j.path)
+    assert len(j2) == 1
+    assert j2.lookup_ok("w", 0, "c") == (99,)
+
+
+def test_corrupt_lines_skipped_not_fatal(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    j = ResultJournal(path)
+    j.record_ok("w", 0, "c", 1)
+    j.record_ok("w", 1, "c", 2)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("{torn line garba")  # a non-atomic writer would leave this
+        fh.write("\n")
+        fh.write(json.dumps({"v": 99, "worker": "w", "index": 2, "cell": "c"}))
+        fh.write("\n")
+    j2 = ResultJournal(path)
+    assert j2.corrupt_lines == 2
+    assert j2.lookup_ok("w", 0, "c") == (1,)
+    assert j2.lookup_ok("w", 1, "c") == (2,)
+
+
+def test_file_is_always_complete_jsonl(tmp_path):
+    """Atomic temp+rename: after every record, the on-disk file parses
+    in full — there is no moment a reader can observe a torn write."""
+    path = str(tmp_path / "j.jsonl")
+    j = ResultJournal(path)
+    for i in range(10):
+        j.record_ok("w", i, f"c{i}", {"value": i})
+        with open(path, encoding="utf-8") as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+        assert len(lines) == i + 1
+    assert not [
+        f for f in os.listdir(tmp_path) if f.endswith(".tmp")
+    ], "temp files must not accumulate"
+
+
+def test_missing_journal_starts_empty(tmp_path):
+    j = ResultJournal(str(tmp_path / "absent.jsonl"))
+    assert len(j) == 0
+    assert j.corrupt_lines == 0
