@@ -52,17 +52,26 @@ def test_engine_raw_event_throughput(benchmark, report):
     assert rate > 100_000  # sanity floor
 
 
-def _bisection_stream(batching: bool):
-    """The 80-node bisection workload; returns rates and totals."""
-    fabric = malbec_mini().with_(burst_batching=batching).build()
-    n = fabric.topology.n_nodes
-    for i in range(n):
-        fabric.send(i, (i + n // 2) % n, 256 * KiB)
-    t0 = time.perf_counter()
-    fabric.sim.run()
-    wall = time.perf_counter() - t0
-    pkts = fabric.packets_delivered()
-    events = fabric.sim.events_processed
+def _bisection_stream(batching: bool, repeats: int = 3):
+    """The 80-node bisection workload; returns rates and totals.
+
+    The simulated work is deterministic (identical event count every
+    run), so wall clock is taken as the best of *repeats* — the
+    standard low-noise estimator for sub-second benchmarks on shared
+    machines.
+    """
+    best = None
+    for _ in range(repeats):
+        fabric = malbec_mini().with_(burst_batching=batching).build()
+        n = fabric.topology.n_nodes
+        for i in range(n):
+            fabric.send(i, (i + n // 2) % n, 256 * KiB)
+        t0 = time.perf_counter()
+        fabric.sim.run()
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[0]:
+            best = (wall, fabric.packets_delivered(), fabric.sim.events_processed)
+    wall, pkts, events = best
     return {
         "pkt_per_s": pkts / wall,
         "ev_per_s": events / wall,
@@ -72,11 +81,34 @@ def _bisection_stream(batching: bool):
     }
 
 
+def _count_routing_decisions() -> int:
+    """Exact route() call count for the bisection workload.
+
+    Runs the identical (deterministic) simulation once with a counting
+    shim on the router, so the timed runs stay uninstrumented.
+    """
+    fabric = malbec_mini().build()
+    n = fabric.topology.n_nodes
+    count = [0]
+    route = fabric.router.route
+
+    def counting(sw, pkt):
+        count[0] += 1
+        return route(sw, pkt)
+
+    fabric.router.route = counting
+    for i in range(n):
+        fabric.send(i, (i + n // 2) % n, 256 * KiB)
+    fabric.sim.run()
+    return count[0]
+
+
 def test_fabric_packet_throughput(benchmark, report):
     def run():
         return _bisection_stream(False), _bisection_stream(True)
 
     default, batched = run_once(benchmark, run)
+    decisions = _count_routing_decisions()
     table = render_table(
         ["metric", "default", "burst batching"],
         [
@@ -85,6 +117,9 @@ def test_fabric_packet_throughput(benchmark, report):
             ["fabric events",
              f"{default['ev_per_s']:,.0f} ev/s", f"{batched['ev_per_s']:,.0f} ev/s"],
             ["events total", f"{default['events']:,}", f"{batched['events']:,}"],
+            ["routing decisions",
+             f"{decisions / default['wall_s']:,.0f} dec/s",
+             f"{decisions / batched['wall_s']:,.0f} dec/s"],
         ],
         title="Fabric throughput (80-node bisection stream)",
     )
@@ -96,12 +131,21 @@ def test_fabric_packet_throughput(benchmark, report):
             "default": default,
             "burst_batching": batched,
             "seed_pkt_per_s": SEED_PKT_RATE,
-            "speedup_vs_seed": default["pkt_per_s"] / SEED_PKT_RATE,
+            "routing_decisions": decisions,
+            "routing_decisions_per_s": decisions / default["wall_s"],
+            # both modes measured against the same seed baseline (the
+            # old single number silently reported batching-off only)
+            "speedup_vs_seed": {
+                "default": default["pkt_per_s"] / SEED_PKT_RATE,
+                "burst_batching": batched["pkt_per_s"] / SEED_PKT_RATE,
+            },
         },
     )
-    # The hot-path overhaul's acceptance bar: >= 1.5x the seed commit's
-    # packet rate on this exact workload, without batching.
-    assert default["pkt_per_s"] > 1.5 * SEED_PKT_RATE
+    # The routing/topology fast path's acceptance bar: well past the
+    # hot-path overhaul's ~1.7x over the seed commit.  Candidate tables
+    # measure ~2.5x on a quiet machine; the floor stays at 1.8x because
+    # shared-host wall-clock jitter on sub-second runs reaches ±25%.
+    assert default["pkt_per_s"] > 1.8 * SEED_PKT_RATE
     # Batching strictly removes per-packet completion events.
     assert batched["events"] <= default["events"]
     assert batched["packets"] == default["packets"]
@@ -111,10 +155,10 @@ def test_congested_cell_cost(benchmark, report):
     """Wall-clock of one Aries incast heatmap cell (the bench budget unit)."""
     from repro.workloads import allreduce_bench, congestion_impact, incast_congestor, split_nodes
 
-    def run():
+    def one_cell():
         vic, agg = split_nodes(list(range(64)), 32, "random", seed=3)
         t0 = time.perf_counter()
-        congestion_impact(
+        r = congestion_impact(
             crystal_mini(),
             vic,
             allreduce_bench(8, iterations=6),
@@ -122,14 +166,25 @@ def test_congested_cell_cost(benchmark, report):
             incast_congestor(),
             max_ns=400 * MS,
         )
-        return time.perf_counter() - t0
+        return time.perf_counter() - t0, r
 
-    wall = run_once(benchmark, run)
+    def run():
+        # deterministic work; best-of-2 wall clock rejects machine noise
+        return min((one_cell() for _ in range(2)), key=lambda x: x[0])
+
+    wall, r = run_once(benchmark, run)
+    pkts = r["pkts_isolated"] + r["pkts_congested"]
     table = render_table(
         ["metric", "value"],
-        [["one congested heatmap cell", f"{wall:.1f} s"]],
+        [
+            ["one congested heatmap cell", f"{wall:.1f} s"],
+            ["packets simulated", f"{pkts:,.0f} ({pkts / wall:,.0f} pkt/s)"],
+        ],
         title="Cost of one Fig. 9 cell (isolated + congested runs)",
     )
     report(table)
     save_result("engine_cell_cost", table)
-    save_metrics("congested_cell_cost", {"wall_s": wall})
+    save_metrics(
+        "congested_cell_cost",
+        {"wall_s": wall, "pkts": pkts, "pkt_per_s": pkts / wall},
+    )

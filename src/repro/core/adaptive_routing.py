@@ -33,6 +33,24 @@ end-to-end retransmission timer (repro.faults) re-injects it.  On a
 healthy fabric the degraded path is never entered: the only cost is one
 flag check per routing decision, and decisions are bit-identical.
 
+Fast path (table-driven routing): ``route()`` is the most-executed code
+in the simulator after the event loop, so candidate generation is
+table-driven the way real Rosetta switches route.  Healthy-path
+candidate sets are pure functions of the installed wiring and are
+materialized once as immutable tuples (gateway-port fan-outs per target
+group on each switch, local-detour sets per destination switch, the
+"other groups" Valiant pool on the topology); degraded-mode candidate
+sets additionally depend on the link-health mask and are cached per
+``(switch, target, health_epoch)`` — every fault-control mutation bumps
+the topology's ``health_epoch``, so caches invalidate immediately and
+rebuild lazily on the next decision.  RNG sampling still happens live on
+the cached populations (``random.sample``/``choice`` consume the RNG as
+a function of population *length* only, and the tuples preserve the
+exact length and order of the per-decision lists they replace), so
+decisions are bit-identical to the table-free reference implementation,
+which is retained behind ``use_tables=False`` and pinned against the
+fast path by property tests.
+
 Three policies are provided: :class:`AdaptiveRouter` (Slingshot and, with
 different parameters, Aries), :class:`MinimalRouter` and
 :class:`ValiantRouter` (ablation baselines).
@@ -41,7 +59,7 @@ different parameters, Aries), :class:`MinimalRouter` and
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..sim.rng import stable_hash
 
@@ -91,7 +109,11 @@ class AdaptiveRouter:
     """UGAL-flavoured adaptive routing over a dragonfly fabric.
 
     One router instance serves the whole fabric (it is stateless apart
-    from its RNG; all congestion state is read from the ports).
+    from its RNG and its routing tables; all congestion state is read
+    from the ports).  ``use_tables=False`` selects the table-free
+    reference implementation — same decisions, recomputed per packet —
+    kept for the cache-equivalence property tests and as the executable
+    specification of what the tables must reproduce.
     """
 
     #: multiplicative penalty on non-minimal candidates (2 ≈ double length)
@@ -108,6 +130,7 @@ class AdaptiveRouter:
         n_candidates: int = 2,
         allow_nonminimal: bool = True,
         tc_routing_bias=None,
+        use_tables: bool = True,
     ):
         self.topo = topology
         self.nonmin_penalty = nonmin_penalty
@@ -124,16 +147,40 @@ class AdaptiveRouter:
         #: steered around it, and decisions with no live port at all
         self.reroutes = 0
         self.no_route = 0
+        self._use_tables = use_tables
+        # structural constants hoisted off the hot path (the params
+        # dataclass is frozen, so these can never go stale)
+        p = topology.params
+        self._hps = p.hosts_per_switch
+        self._spg = p.switches_per_group
+        self._n_groups = p.n_groups
+        #: reusable candidate scratch list — route() is never re-entered,
+        #: so one list per router replaces one allocation per decision
+        self._cand: List[Tuple[object, bool, Optional[int]]] = []
+        # Degraded-mode candidate caches, keyed (switch id, target) and
+        # guarded by the topology's health_epoch: rebuilt lazily after
+        # each fault-control mutation instead of re-filtered per packet.
+        self._deg_cache: Dict[Tuple[int, int], tuple] = {}
+        self._deg_local_cache: Dict[Tuple[int, int], tuple] = {}
+        #: diagnostic: degraded cache entries (re)built so far
+        self.deg_cache_rebuilds = 0
 
     # -- helpers -------------------------------------------------------------
 
-    def _sample(self, seq: List, k: int) -> List:
+    def _sample(self, seq, k: int):
+        """*k* RNG-sampled elements, or *seq* itself when it already fits.
+
+        The no-sample branch returns the input sequence uncopied (callers
+        only iterate); the sampled branch consumes the RNG as a function
+        of ``len(seq)`` alone, which is what lets the cached port tuples
+        substitute for the historical id lists bit-identically.
+        """
         if len(seq) <= k:
-            return list(seq)
+            return seq
         return self._rng.sample(seq, k)
 
     @staticmethod
-    def _least_loaded(ports: List) -> "object":
+    def _least_loaded(ports) -> "object":
         best = ports[0]
         best_score = best.congestion_score()
         for p in ports[1:]:
@@ -141,16 +188,6 @@ class AdaptiveRouter:
             if s < best_score:
                 best, best_score = p, s
         return best
-
-    def _port_towards_group(self, sw, group: int):
-        """Best port from *sw* towards *group*: direct global link if any,
-        else a local hop to a gateway switch."""
-        direct = sw.ports_to_group.get(group)
-        if direct:
-            return self._least_loaded(direct)
-        gws = self.topo.gateways(sw.group, group)
-        choices = self._sample(gws, self.n_candidates)
-        return self._least_loaded([sw.port_to_switch[g] for g in choices])
 
     def _pick(self, sw, pkt, candidates):
         """UGAL decision rule over the candidate set (shared by the healthy
@@ -184,9 +221,281 @@ class AdaptiveRouter:
             self.telem.routed(sw.sim, sw, pkt, port, nonmin, inter)
         return port
 
+    # -- candidate tables ----------------------------------------------------
+    #
+    # Healthy-path tables are pure functions of the installed wiring; they
+    # live on the switch (filled lazily, never invalidated).  Each tuple
+    # preserves the exact length and element order of the per-decision
+    # list it replaces, so live RNG sampling over it selects the same
+    # elements the reference implementation would.
+
+    def _build_gateway_ports(self, sw, group) -> tuple:
+        ports = tuple(
+            sw.port_to_switch[g] for g in self.topo.gateways(sw.group, group)
+        )
+        sw.rt_gateway_ports[group] = ports
+        return ports
+
+    def _build_detour_ports(self, sw, dst_sw) -> tuple:
+        ports = tuple(
+            sw.port_to_switch[s]
+            for s in self.topo.local_neighbors(sw.id)
+            if s != dst_sw
+        )
+        sw.rt_detour_ports[dst_sw] = ports
+        return ports
+
+    # Degraded-mode candidate sets: same filters the reference degraded
+    # path applies per packet, computed once per (switch, target) per
+    # health epoch.
+
+    def _deg_global_ports(self, sw, group) -> tuple:
+        """(live direct ports, live gateway ports, had any direct links)."""
+        key = (sw.id, group)
+        epoch = self.topo.health_epoch
+        ent = self._deg_cache.get(key)
+        if ent is not None and ent[0] == epoch:
+            return ent[1], ent[2], ent[3]
+        topo = self.topo
+        installed = sw.ports_to_group.get(group)
+        direct = tuple(p for p in (installed or ()) if p.up)
+        p2s = sw.port_to_switch
+        me = sw.id
+        gws = tuple(
+            p2s[g]
+            for g in topo.live_gateways(sw.group, group)
+            if g != me and p2s[g].up
+        )
+        had = bool(installed)
+        self._deg_cache[key] = (epoch, direct, gws, had)
+        self.deg_cache_rebuilds += 1
+        return direct, gws, had
+
+    def _deg_local_ports(self, sw, dst_sw) -> tuple:
+        """Live local detour ports towards *dst_sw* (neighbours whose own
+        port is up and whose onward link to the destination is up)."""
+        key = (sw.id, dst_sw)
+        epoch = self.topo.health_epoch
+        ent = self._deg_local_cache.get(key)
+        if ent is not None and ent[0] == epoch:
+            return ent[1]
+        topo = self.topo
+        p2s = sw.port_to_switch
+        ports = tuple(
+            p2s[s]
+            for s in topo.local_neighbors(sw.id)
+            if s != dst_sw and p2s[s].up and topo.local_link_up(s, dst_sw)
+        )
+        self._deg_local_cache[key] = (epoch, ports)
+        self.deg_cache_rebuilds += 1
+        return ports
+
+    def invalidate_route_caches(self) -> None:
+        """Drop every degraded-mode cache entry (epoch guards already make
+        stale entries unreachable; this just releases the memory)."""
+        self._deg_cache.clear()
+        self._deg_local_cache.clear()
+
     # -- main entry ------------------------------------------------------------
 
     def route(self, sw, pkt):
+        if not self._use_tables:
+            return self._route_reference(sw, pkt)
+        topo = self.topo
+        if topo.degraded:
+            return self._route_degraded_tables(sw, pkt)
+
+        dst = pkt.dst
+        dst_sw = dst // self._hps
+        if dst_sw == sw.id:
+            return sw.port_to_node[dst]
+
+        # Entering the Valiant intermediate group completes the misroute.
+        inter = pkt.intermediate_group
+        group = sw.group
+        if inter is not None and group == inter:
+            pkt.intermediate_group = inter = None
+
+        dst_g = dst_sw // self._spg
+        target_g = dst_g if inter is None else inter
+        telem = self.telem
+        n = self.n_candidates
+
+        if target_g == group:
+            # Local leg: minimal is the direct link to the destination
+            # switch; non-minimal (injection only) detours via a neighbour.
+            port = sw.port_to_switch[dst_sw]
+            if self.allow_nonminimal and pkt.hops == 1 and dst_g == group:
+                detours = sw.rt_detour_ports.get(dst_sw)
+                if detours is None:
+                    detours = self._build_detour_ports(sw, dst_sw)
+                if detours:
+                    cand = self._cand
+                    cand.clear()
+                    cand.append((port, False, None))
+                    for p in self._sample(detours, n):
+                        cand.append((p, True, None))
+                    return self._pick(sw, pkt, cand)
+            if telem is not None:
+                telem.routed(sw.sim, sw, pkt, port, False, None)
+            return port
+
+        # Global leg: direct global links if this switch has them,
+        # otherwise a local hop towards a gateway switch.
+        direct = sw.ports_to_group.get(target_g)
+        if direct:
+            mins = self._sample(direct, n)
+        else:
+            gws = sw.rt_gateway_ports.get(target_g)
+            if gws is None:
+                gws = self._build_gateway_ports(sw, target_g)
+            mins = self._sample(gws, n)
+
+        if (
+            self.allow_nonminimal
+            and pkt.hops == 1
+            and inter is None
+            and self._n_groups > 2
+        ):
+            cand = self._cand
+            cand.clear()
+            for p in mins:
+                cand.append((p, False, None))
+            sample = self._sample
+            for k in sample(topo.valiant_pool(group, dst_g), n):
+                cand.append((self._ptg_tables(sw, k), True, k))
+            return self._pick(sw, pkt, cand)
+
+        # Minimal-only candidate set: UGAL over same-length minimal paths
+        # reduces to least-loaded with first-wins tie-break.
+        port = mins[0] if len(mins) == 1 else self._least_loaded(mins)
+        if telem is not None:
+            telem.routed(sw.sim, sw, pkt, port, False, None)
+        return port
+
+    def _ptg_tables(self, sw, group):
+        """Table-driven :meth:`_port_towards_group` (healthy fabric)."""
+        direct = sw.ports_to_group.get(group)
+        if direct:
+            return direct[0] if len(direct) == 1 else self._least_loaded(direct)
+        gws = sw.rt_gateway_ports.get(group)
+        if gws is None:
+            gws = self._build_gateway_ports(sw, group)
+        choices = self._sample(gws, self.n_candidates)
+        return choices[0] if len(choices) == 1 else self._least_loaded(choices)
+
+    def _ptg_live_tables(self, sw, group):
+        """Table-driven :meth:`_port_towards_group_live`; None if
+        unreachable under the current health mask."""
+        direct, gws, _had = self._deg_global_ports(sw, group)
+        if direct:
+            return direct[0] if len(direct) == 1 else self._least_loaded(direct)
+        if not gws:
+            return None
+        choices = self._sample(gws, self.n_candidates)
+        return choices[0] if len(choices) == 1 else self._least_loaded(choices)
+
+    # -- degraded fabric (table-driven) ---------------------------------------
+
+    def _route_degraded_tables(self, sw, pkt):
+        """Degraded candidate generation over the epoch-guarded caches.
+
+        Same decisions as :meth:`_route_degraded` (the reference): dead
+        ports never enter the candidate set, dead minimal paths reroute
+        through live detours/gateways, and nothing live means ``None``
+        (drop; e2e recovery re-injects).  The per-packet health-mask
+        filters are replaced by cached tuples rebuilt once per fault.
+        """
+        topo = self.topo
+        dst = pkt.dst
+        dst_sw = dst // self._hps
+        if dst_sw == sw.id:
+            port = sw.port_to_node[dst]
+            if port.up:
+                if self.telem is not None:
+                    self.telem.routed(sw.sim, sw, pkt, port, False, None)
+                return port
+            self.no_route += 1
+            return None
+        if pkt.hops >= MAX_DEGRADED_HOPS:
+            self.no_route += 1
+            return None
+
+        inter = pkt.intermediate_group
+        group = sw.group
+        if inter is not None and group == inter:
+            pkt.intermediate_group = inter = None
+
+        dst_g = dst_sw // self._spg
+        target_g = dst_g if inter is None else inter
+        at_injection = pkt.hops == 1
+        n = self.n_candidates
+        cand = self._cand
+        cand.clear()
+        rerouted = False
+
+        if target_g == group:
+            min_port = sw.port_to_switch.get(dst_sw)
+            if min_port is not None and min_port.up:
+                cand.append((min_port, False, None))
+                if self.allow_nonminimal and at_injection and dst_g == group:
+                    for p in self._sample(self._deg_local_ports(sw, dst_sw), n):
+                        cand.append((p, True, None))
+            else:
+                # Minimal local link is dead: detour through any neighbour
+                # that still has a live link onward to the destination.
+                rerouted = True
+                for p in self._sample(self._deg_local_ports(sw, dst_sw), n):
+                    cand.append((p, True, None))
+        else:
+            direct, gws, had_direct = self._deg_global_ports(sw, target_g)
+            if direct:
+                for p in self._sample(direct, n):
+                    cand.append((p, False, None))
+            else:
+                if had_direct:
+                    rerouted = True  # our own global links to there all died
+                if not gws:
+                    rerouted = True
+                for p in self._sample(gws, n):
+                    cand.append((p, False, None))
+            if (
+                self.allow_nonminimal
+                and at_injection
+                and inter is None
+                and self._n_groups > 2
+            ):
+                for k in self._sample(topo.valiant_pool(group, dst_g), n):
+                    port = self._ptg_live_tables(sw, k)
+                    if port is not None:
+                        cand.append((port, True, k))
+
+        if not cand:
+            self.no_route += 1
+            return None
+        if rerouted:
+            self.reroutes += 1
+        return self._pick(sw, pkt, cand)
+
+    # -- reference implementation (use_tables=False) --------------------------
+    #
+    # The pre-table router, byte-for-byte: candidate sets recomputed per
+    # packet from the topology and the live health mask.  This is the
+    # executable specification the tables are tested against (hypothesis
+    # equivalence suite and the flapping-schedule regression test), and a
+    # escape hatch for topologies whose wiring mutates at runtime.
+
+    def _port_towards_group(self, sw, group):
+        """Best port from *sw* towards *group*: direct global link if any,
+        else a local hop to a gateway switch."""
+        direct = sw.ports_to_group.get(group)
+        if direct:
+            return self._least_loaded(direct)
+        gws = self.topo.gateways(sw.group, group)
+        choices = self._sample(gws, self.n_candidates)
+        return self._least_loaded([sw.port_to_switch[g] for g in choices])
+
+    def _route_reference(self, sw, pkt):
         if self.topo.degraded:
             return self._route_degraded(sw, pkt)
 
@@ -236,7 +545,7 @@ class AdaptiveRouter:
 
         return self._pick(sw, pkt, candidates)
 
-    # -- degraded fabric -------------------------------------------------------
+    # -- degraded fabric (reference) ------------------------------------------
 
     def _port_towards_group_live(self, sw, group):
         """Fault-aware :meth:`_port_towards_group`; None if unreachable."""
@@ -372,8 +681,10 @@ class ValiantRouter(AdaptiveRouter):
     """
 
     def route(self, sw, pkt):
-        degraded = self.topo.degraded
-        dst_sw = self.topo.node_switch(pkt.dst)
+        topo = self.topo
+        degraded = topo.degraded
+        use_tables = self._use_tables
+        dst_sw = topo.node_switch(pkt.dst)
         if dst_sw == sw.id:
             port = sw.port_to_node[pkt.dst]
             if degraded and not port.up:
@@ -385,39 +696,65 @@ class ValiantRouter(AdaptiveRouter):
             return None
         if pkt.intermediate_group is not None and sw.group == pkt.intermediate_group:
             pkt.intermediate_group = None
-        dst_g = self.topo.switch_group(dst_sw)
+        dst_g = topo.switch_group(dst_sw)
         misrouted = None
         if pkt.hops == 1 and pkt.intermediate_group is None:
-            if dst_g != sw.group and self.topo.params.n_groups > 2:
-                pool = [
-                    g
-                    for g in range(self.topo.params.n_groups)
-                    if g != sw.group and g != dst_g
-                ]
+            if dst_g != sw.group and self._n_groups > 2:
+                # choice() draws as a function of population length, so
+                # the cached pool substitutes bit-identically.
+                if use_tables:
+                    pool = topo.valiant_pool(sw.group, dst_g)
+                else:
+                    pool = [
+                        g
+                        for g in range(self._n_groups)
+                        if g != sw.group and g != dst_g
+                    ]
                 pkt.intermediate_group = misrouted = self._rng.choice(pool)
             elif dst_g == sw.group:
-                others = [s for s in self.topo.local_neighbors(sw.id) if s != dst_sw]
-                if degraded:
-                    others = [
-                        s
-                        for s in others
-                        if sw.port_to_switch[s].up
-                        and self.topo.local_link_up(s, dst_sw)
-                    ]
-                if others:
-                    port = sw.port_to_switch[self._rng.choice(others)]
-                    if self.telem is not None:
-                        self.telem.routed(sw.sim, sw, pkt, port, True, None)
-                    return port
+                if use_tables:
+                    if degraded:
+                        ports = self._deg_local_ports(sw, dst_sw)
+                    else:
+                        ports = sw.rt_detour_ports.get(dst_sw)
+                        if ports is None:
+                            ports = self._build_detour_ports(sw, dst_sw)
+                    if ports:
+                        port = self._rng.choice(ports)
+                        if self.telem is not None:
+                            self.telem.routed(sw.sim, sw, pkt, port, True, None)
+                        return port
+                else:
+                    others = [s for s in topo.local_neighbors(sw.id) if s != dst_sw]
+                    if degraded:
+                        others = [
+                            s
+                            for s in others
+                            if sw.port_to_switch[s].up
+                            and topo.local_link_up(s, dst_sw)
+                        ]
+                    if others:
+                        port = sw.port_to_switch[self._rng.choice(others)]
+                        if self.telem is not None:
+                            self.telem.routed(sw.sim, sw, pkt, port, True, None)
+                        return port
         target_g = pkt.intermediate_group if pkt.intermediate_group is not None else dst_g
         if target_g == sw.group:
             port = sw.port_to_switch[dst_sw]
             if degraded and not port.up:
                 port = None
         elif degraded:
-            port = self._port_towards_group_live(sw, target_g)
+            port = (
+                self._ptg_live_tables(sw, target_g)
+                if use_tables
+                else self._port_towards_group_live(sw, target_g)
+            )
         else:
-            port = self._port_towards_group(sw, target_g)
+            port = (
+                self._ptg_tables(sw, target_g)
+                if use_tables
+                else self._port_towards_group(sw, target_g)
+            )
         if port is None:
             self.no_route += 1
             return None

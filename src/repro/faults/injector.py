@@ -78,6 +78,11 @@ class FaultInjector:
 
     def _apply(self, ev: FaultEvent) -> None:
         f = self.fabric
+        # The adaptive router caches degraded-mode candidate sets keyed by
+        # the topology's health_epoch; every fault-control primitive bumps
+        # it.  Snapshot it here and backstop below so a future action that
+        # forgets the bump can never leave a stale route cache live.
+        epoch_before = f.topology.health_epoch
         if ev.action == "link_fail":
             f.fail_link(ev.target)
         elif ev.action == "link_recover":
@@ -92,6 +97,8 @@ class FaultInjector:
             f.restore_switch(ev.target)
         else:  # pragma: no cover - FaultEvent validates actions
             raise ValueError(f"unknown fault action {ev.action!r}")
+        if f.topology.health_epoch == epoch_before:
+            f.topology.bump_health_epoch()
         self.events_applied += 1
         self.applied.append((self.sim.now, ev))
         if self.telem is not None:

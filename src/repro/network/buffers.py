@@ -37,7 +37,7 @@ class VcBufferPool:
     thousands of stale entries under saturation).
     """
 
-    __slots__ = ("shared", "reserved", "_waiters", "_in_use")
+    __slots__ = ("shared", "reserved", "_waiters", "_in_use", "watchers")
 
     def __init__(
         self,
@@ -58,6 +58,11 @@ class VcBufferPool:
         # packet), so it must not sum n_vcs+1 Credits objects per read.
         # Sizes are integer-valued floats, so += / -= stays exact.
         self._in_use: float = 0.0
+        # OutputPorts whose cached congestion_score reads this pool's
+        # occupancy; every _in_use mutation marks their caches stale.
+        # One entry for a dedicated wire buffer, several when ports share
+        # a switch-wide ingress pool (Aries-style shared_switch_buffers).
+        self.watchers: list = []
 
     def can_fit(self, vc: int, size: float) -> bool:
         return (
@@ -69,10 +74,14 @@ class VcBufferPool:
         if self.shared.try_acquire(pkt.size):
             pkt.buf_shared = True
             self._in_use += pkt.size
+            for port in self.watchers:
+                port._score_ok = False
             return True
         if self.reserved[pkt.vc].try_acquire(pkt.size):
             pkt.buf_shared = False
             self._in_use += pkt.size
+            for port in self.watchers:
+                port._score_ok = False
             return True
         return False
 
@@ -86,11 +95,15 @@ class VcBufferPool:
         """
         if self.shared.try_acquire(total):
             self._in_use += total
+            for port in self.watchers:
+                port._score_ok = False
             return True
         return False
 
     def release(self, size: float, vc: int, was_shared: bool) -> None:
         self._in_use -= size
+        for port in self.watchers:
+            port._score_ok = False
         if was_shared:
             self.shared.release(size)
         else:

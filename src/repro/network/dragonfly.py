@@ -113,6 +113,15 @@ class DragonflyTopology:
         self.global_ports_used: Dict[int, int] = {s: 0 for s in range(self.n_switches)}
         self._wire_global_links()
 
+        # -- routing candidate tables ---------------------------------------
+        # The installed wiring never changes after construction, so pure
+        # functions of it (gateway sets, Valiant pools) are cached as
+        # immutable tuples, filled lazily on first use.  The adaptive
+        # router reads these on every decision; rebuilding them per packet
+        # was the single hottest allocation in the simulator.
+        self._gateway_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._valiant_pools: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
         # -- mutable link-health mask (repro.faults) -----------------------
         # The wiring above is the *installed* fabric; these sets record
         # which installed links are currently dead.  All empty on a healthy
@@ -122,6 +131,13 @@ class DragonflyTopology:
         self._down_global: set = set()  # {(min(gi,gj), max(gi,gj), idx)}
         self._down_hosts: set = set()  # {node}
         self.degraded = False
+        #: monotonically increasing counter bumped on *every* health-mask
+        #: mutation (and by Fabric.degrade_link).  Consumers that cache
+        #: anything derived from the mask — the router's degraded-mode
+        #: candidate sets, :meth:`live_gateways` — key their caches on it
+        #: and rebuild lazily when it moves.
+        self.health_epoch = 0
+        self._live_gw_cache: Dict[Tuple[int, int], tuple] = {}
 
     # -- id helpers ---------------------------------------------------------
 
@@ -174,9 +190,34 @@ class DragonflyTopology:
             raise ValueError("no global links within a group")
         return self._pair_links[(gi, gj)]
 
-    def gateways(self, gi: int, gj: int) -> List[int]:
-        """Switches in group gi with a direct link to group gj."""
-        return sorted({si for si, _ in self._pair_links[(gi, gj)]})
+    def gateways(self, gi: int, gj: int) -> Tuple[int, ...]:
+        """Switches in group gi with a direct link to group gj.
+
+        Cached as an immutable tuple (ascending switch ids, exactly the
+        order the pre-cache implementation produced): the wiring is fixed
+        at construction, and the adaptive router reads this on the hot
+        path of every gateway-routed decision.
+        """
+        key = (gi, gj)
+        out = self._gateway_cache.get(key)
+        if out is None:
+            out = tuple(sorted({si for si, _ in self._pair_links[key]}))
+            self._gateway_cache[key] = out
+        return out
+
+    def valiant_pool(self, g_src: int, g_dst: int) -> Tuple[int, ...]:
+        """Intermediate-group candidates for a Valiant misroute from
+        *g_src* towards *g_dst*: every other group, in ascending order
+        (the same order the per-decision list comprehension produced)."""
+        key = (g_src, g_dst)
+        pool = self._valiant_pools.get(key)
+        if pool is None:
+            pool = tuple(
+                g for g in range(self.params.n_groups)
+                if g != g_src and g != g_dst
+            )
+            self._valiant_pools[key] = pool
+        return pool
 
     def local_neighbors(self, switch: int) -> List[int]:
         group = self.switch_group(switch)
@@ -207,6 +248,18 @@ class DragonflyTopology:
         self.degraded = bool(
             self._down_local or self._down_global or self._down_hosts
         )
+        self.health_epoch += 1
+
+    def bump_health_epoch(self) -> None:
+        """Invalidate every epoch-guarded routing cache.
+
+        Called by mask mutations implicitly (via :meth:`_refresh_degraded`)
+        and explicitly by fault-control operations that change link state
+        without touching the mask (``Fabric.degrade_link``): the rule
+        "any fault-control mutation moves the epoch" is cheap insurance
+        against a cache consumer depending on state the mask misses.
+        """
+        self.health_epoch += 1
 
     def set_local_link_health(self, si: int, sj: int, link_up: bool) -> None:
         """Mark the intra-group link between *si* and *sj* up or down."""
@@ -249,21 +302,29 @@ class DragonflyTopology:
     def host_link_up(self, node: int) -> bool:
         return node not in self._down_hosts
 
-    def live_gateways(self, gi: int, gj: int) -> List[int]:
+    def live_gateways(self, gi: int, gj: int) -> Tuple[int, ...]:
         """Switches in group *gi* with at least one *live* link to *gj*.
 
         Identical to :meth:`gateways` on a healthy fabric (same sorted
         order), so routing decisions are unchanged until a link dies.
+        On a degraded fabric the filtered set is cached per health epoch,
+        so chaos sweeps re-filter once per fault, not once per packet.
         """
         if not self._down_global:
             return self.gateways(gi, gj)
+        key = (gi, gj)
+        epoch = self.health_epoch
+        cached = self._live_gw_cache.get(key)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
         lo, hi = min(gi, gj), max(gi, gj)
-        live = {
+        live = tuple(sorted({
             si
-            for idx, (si, _) in enumerate(self._pair_links[(gi, gj)])
+            for idx, (si, _) in enumerate(self._pair_links[key])
             if (lo, hi, idx) not in self._down_global
-        }
-        return sorted(live)
+        }))
+        self._live_gw_cache[key] = (epoch, live)
+        return live
 
     # -- analytic bandwidth figures (used by Fig. 6 theory lines) -----------
 

@@ -310,6 +310,13 @@ class Fabric:
                 ("host", n), "host", (sw.port_to_node[n], nic.out_port),
                 cfg.host_link, s,
             )
+        # Freeze the per-switch global fan-outs: wiring is complete, so
+        # the routing fast path can treat each fan-out as an immutable
+        # candidate table (tuples also iterate/sample a shade faster).
+        for sw in self.switches:
+            sw.ports_to_group = {
+                g: tuple(ports) for g, ports in sw.ports_to_group.items()
+            }
 
     # -- traffic API -------------------------------------------------------------
 
@@ -448,6 +455,10 @@ class Fabric:
         ref = self._link(key)
         for port, bw in zip(ref.ports, ref.base_bandwidths):
             port.set_bandwidth(bw * factor)
+        # Bandwidth does not enter any cached candidate set, but bump the
+        # topology epoch anyway so every fault-control primitive has the
+        # same contract: mutate, then invalidate route caches.
+        self.topology.bump_health_epoch()
 
     def set_link_error_rate(self, key: tuple, rate: float) -> None:
         """Set a link's instantaneous frame error rate (BER storm)."""

@@ -89,6 +89,9 @@ class OutputPort:
         "_err_rng",
         "up",
         "pkts_dropped",
+        "_score_val",
+        "_score_ok",
+        "_score_now",
     )
 
     def __init__(
@@ -177,6 +180,19 @@ class OutputPort:
         # a failed one refuses new transmissions and has dropped its queue.
         self.up = True
         self.pkts_dropped = 0
+        # congestion_score cache: adaptive routing scores the same port
+        # several times per arbitration tick (one per candidate set it
+        # appears in).  The score is a pure function of backlog, pool
+        # occupancy, and (mid-burst) the clock, so it is cached until any
+        # of those inputs moves: backlog/burst mutations clear _score_ok
+        # here, pool mutations clear it through the pool's watcher list,
+        # and the burst corrections are re-keyed on sim.now.  The cached
+        # value is the exact float the uncached path computed.
+        self._score_val = 0.0
+        self._score_ok = False
+        self._score_now = -1.0
+        for pool in self.credits:
+            pool.watchers.append(self)
         if error_rate > 0.0:
             import random as _random
 
@@ -214,24 +230,37 @@ class OutputPort:
         burst-completion event), so it is corrected the same way
         ``credited_bytes`` is — adaptive routing must see exactly what the
         packet-at-a-time schedule would have shown.
+
+        The result is cached per arbitration tick: valid until a backlog,
+        burst, or pool-occupancy mutation invalidates it (and, while a
+        burst is in flight, only within the same ``sim.now``, because the
+        corrections depend on the clock).
         """
+        b = self._burst
+        if self._score_ok and (b is None or self._score_now == self.sim.now):
+            return self._score_val
         used = 0.0
         for pool in self.credits:
             used += pool._in_use
-        b = self._burst
         if b is None:
-            return self.backlog + used
-        starts, ends, prefix = b
-        now = self.sim.now
-        done = prefix[bisect_right(ends, now)]
-        not_started = prefix[-1] - prefix[bisect_right(starts, now)]
-        return (self.backlog - done) + (used - not_started)
+            val = self.backlog + used
+        else:
+            starts, ends, prefix = b
+            now = self.sim.now
+            done = prefix[bisect_right(ends, now)]
+            not_started = prefix[-1] - prefix[bisect_right(starts, now)]
+            val = (self.backlog - done) + (used - not_started)
+        self._score_val = val
+        self._score_ok = True
+        self._score_now = self.sim.now
+        return val
 
     # -- data path ----------------------------------------------------------
 
     def enqueue(self, pkt) -> None:
         self.queues[pkt.tc].append(pkt)
         self.backlog += pkt.size
+        self._score_ok = False
         if self.telem is not None:
             self.telem.enqueue(pkt, self)
         if not self.busy:
@@ -377,6 +406,7 @@ class OutputPort:
             schedule_abs(ends[-1] + prop, rx_receive, pkt, self)
         self.busy = True
         self._burst = (starts, ends, prefix)
+        self._score_ok = False
         schedule_abs(ends[-1], self._on_burst_done, total, count)
         return True
 
@@ -384,6 +414,7 @@ class OutputPort:
         self.busy = False
         self._burst = None
         self.backlog -= total
+        self._score_ok = False
         self.bytes_sent += total
         self.pkts_sent += count
         self._try_send()
@@ -436,6 +467,7 @@ class OutputPort:
     def _on_sent(self, pkt) -> None:
         self.busy = False
         self.backlog -= pkt.size
+        self._score_ok = False
         self.bytes_sent += pkt.size
         self.pkts_sent += 1
         if self.telem is not None:
@@ -495,6 +527,7 @@ class OutputPort:
 
     def _drop_queued(self, pkt) -> None:
         self.backlog -= pkt.size
+        self._score_ok = False
         self.pkts_dropped += 1
         up = pkt.arrival_port
         if up is not None:
@@ -562,6 +595,8 @@ class Switch:
         "port_to_switch",
         "ports_to_group",
         "port_to_node",
+        "rt_gateway_ports",
+        "rt_detour_ports",
         "pkts_forwarded",
         "pkts_dropped",
         "up",
@@ -575,8 +610,17 @@ class Switch:
         self.latency = latency
         self.router = router
         self.port_to_switch: Dict[int, OutputPort] = {}
-        self.ports_to_group: Dict[int, List[OutputPort]] = {}
+        self.ports_to_group: Dict[int, Sequence[OutputPort]] = {}
         self.port_to_node: Dict[int, OutputPort] = {}
+        # Routing candidate tables (filled lazily by AdaptiveRouter once
+        # the fabric has wired the port maps; pure functions of the
+        # installed wiring, so they are never invalidated):
+        #: target group -> tuple of local ports towards that group's
+        #: gateway switches, in ascending gateway-id order
+        self.rt_gateway_ports: Dict[int, tuple] = {}
+        #: destination switch -> tuple of local ports towards every other
+        #: same-group switch (the non-minimal detour candidates)
+        self.rt_detour_ports: Dict[int, tuple] = {}
         self.pkts_forwarded = 0
         #: packets discarded here (dead switch, or no live route); always 0
         #: on a healthy fabric — end-to-end recovery re-injects them

@@ -148,7 +148,7 @@ def congestion_impact(
     head start so the victim measures steady-state congestion.
     """
     isolated = run_workload(
-        config, victim_nodes, workload, max_ns=max_ns
+        config, victim_nodes, workload, max_ns=max_ns, keep_fabric=True
     )
     congested = run_workload(
         config,
@@ -159,6 +159,7 @@ def congestion_impact(
         aggressor_ppn=aggressor_ppn,
         max_ns=max_ns,
         warmup_ns=warmup_ns,
+        keep_fabric=True,
     )
     if not isolated.iteration_times or not congested.iteration_times:
         raise RuntimeError(
@@ -169,4 +170,12 @@ def congestion_impact(
     agg = {"mean": np.mean, "median": np.median}[reduce]
     ti = float(agg(isolated.iteration_times))
     tc = float(agg(congested.iteration_times))
-    return {"ti": ti, "tc": tc, "impact": tc / ti}
+    return {
+        "ti": ti,
+        "tc": tc,
+        "impact": tc / ti,
+        # simulation-effort counters (benchmarks divide these by wall
+        # time to report pkt/s; they do not affect the paper metrics)
+        "pkts_isolated": float(isolated.fabric.packets_delivered()),
+        "pkts_congested": float(congested.fabric.packets_delivered()),
+    }
