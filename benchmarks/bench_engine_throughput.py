@@ -141,11 +141,12 @@ def test_fabric_packet_throughput(benchmark, report):
             },
         },
     )
-    # The routing/topology fast path's acceptance bar: well past the
-    # hot-path overhaul's ~1.7x over the seed commit.  Candidate tables
-    # measure ~2.5x on a quiet machine; the floor stays at 1.8x because
-    # shared-host wall-clock jitter on sub-second runs reaches ±25%.
-    assert default["pkt_per_s"] > 1.8 * SEED_PKT_RATE
+    # The delivery-path fast path's acceptance bar: past the routing
+    # fast path's ~2.5x over the seed commit.  The allocation-free
+    # NIC/port path measures ~3.0x (47-50k pkt/s) on a quiet machine;
+    # the floor stays at 2.2x because shared-host wall-clock jitter on
+    # sub-second runs reaches ±25%.
+    assert default["pkt_per_s"] > 2.2 * SEED_PKT_RATE
     # Batching strictly removes per-packet completion events.
     assert batched["events"] <= default["events"]
     assert batched["packets"] == default["packets"]

@@ -181,10 +181,23 @@ class AdaptiveRouter:
 
     @staticmethod
     def _least_loaded(ports) -> "object":
+        # Port scores are read through the congestion_score cache's fast
+        # branch (valid entry, no burst in flight) without the method
+        # call; any other state falls back to the full recompute, so the
+        # value is always exactly what congestion_score() returns.
         best = ports[0]
-        best_score = best.congestion_score()
-        for p in ports[1:]:
-            s = p.congestion_score()
+        best_score = (
+            best._score_val
+            if best._score_ok and best._burst is None
+            else best.congestion_score()
+        )
+        for i in range(1, len(ports)):
+            p = ports[i]
+            s = (
+                p._score_val
+                if p._score_ok and p._burst is None
+                else p.congestion_score()
+            )
             if s < best_score:
                 best, best_score = p, s
         return best
@@ -201,19 +214,31 @@ class AdaptiveRouter:
             return port
 
         bias_mult = self.tc_routing_bias(pkt.tc)
+        # Lexicographic (score, nonmin, index) minimum without building a
+        # tuple key per candidate: the index tie-break is first-wins, so a
+        # later candidate only displaces the best on a strictly smaller
+        # score, or an equal score with nonmin False against True.
         best = None
-        best_score = None
-        for i, (port, nonmin, inter) in enumerate(candidates):
-            score = port.congestion_score()
+        best_score = 0.0
+        best_nonmin = False
+        for cand in candidates:
+            port, nonmin, _inter = cand
+            score = (
+                port._score_val
+                if port._score_ok and port._burst is None
+                else port.congestion_score()
+            )
             if nonmin:
                 score = (
                     score * self.nonmin_penalty * bias_mult
                     + self.min_bias_bytes * bias_mult
                 )
-            key = (score, nonmin, i)
-            if best_score is None or key < best_score:
-                best_score = key
-                best = (port, nonmin, inter)
+            if (
+                best is None
+                or score < best_score
+                or (score == best_score and nonmin < best_nonmin)
+            ):
+                best, best_score, best_nonmin = cand, score, nonmin
         port, nonmin, inter = best
         if inter is not None:
             pkt.intermediate_group = inter
@@ -341,15 +366,16 @@ class AdaptiveRouter:
             return port
 
         # Global leg: direct global links if this switch has them,
-        # otherwise a local hop towards a gateway switch.
+        # otherwise a local hop towards a gateway switch.  _sample is
+        # inlined (its no-sample branch is the common case at mini scale).
         direct = sw.ports_to_group.get(target_g)
         if direct:
-            mins = self._sample(direct, n)
+            mins = direct if len(direct) <= n else self._rng.sample(direct, n)
         else:
             gws = sw.rt_gateway_ports.get(target_g)
             if gws is None:
                 gws = self._build_gateway_ports(sw, target_g)
-            mins = self._sample(gws, n)
+            mins = gws if len(gws) <= n else self._rng.sample(gws, n)
 
         if (
             self.allow_nonminimal

@@ -34,13 +34,10 @@ Baselines:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Optional
 
 __all__ = ["PairState", "CongestionControl", "SlingshotCC", "NoCC", "EcnCC"]
 
 
-@dataclass
 class PairState:
     """Per-(src, dst) tracking state kept by the sending NIC.
 
@@ -48,29 +45,74 @@ class PairState:
     an enforced idle gap after each send so the average rate matches the
     fractional window (this is what lets stiff back-pressure cut an
     incast source far below one outstanding packet per RTT).
+
+    ``window`` is a property: every assignment (the CC strategies, the
+    NIC's idle aging) also refreshes :attr:`eff_window`, the cached
+    ``max(window, 1.0)`` that admission control compares ``in_flight``
+    against.  The NIC's pump loop runs that comparison once per admitted
+    packet, so the max must never be recomputed there.
+
+    ``last_update_ns`` is the anchor of :class:`EcnCC`'s slow loop.  The
+    NIC passes the pair's *creation time*; a 0.0 default would put a
+    pair born mid-simulation instantly past the update period, letting a
+    single marked first ack cut the window — exactly the fast reaction
+    the ECN ablation is built to *not* have.
     """
 
-    window: float
-    in_flight: int = 0
-    pending: Deque = field(default_factory=deque)
-    # Lazy segmentation: submitted messages sit here as un-consumed
-    # packet generators (FIFO); `pending` holds only already-materialized
-    # packets (e.g. none in the common case).  The counters track what
-    # remains across both, so the hot path never walks either container.
-    pending_iters: Deque = field(default_factory=deque)
-    pending_count: int = 0
-    pending_bytes: float = 0.0
-    next_send_ns: float = 0.0  # pacing gate (used when window < 1)
-    pace_armed: bool = False  # a pacing-timer wakeup is scheduled
-    last_activity_ns: float = 0.0  # last send/ack (for idle state aging)
-    # EcnCC bookkeeping
-    acks_since_update: int = 0
-    marks_since_update: int = 0
-    last_update_ns: float = 0.0
+    __slots__ = (
+        "_window",
+        "eff_window",
+        "in_flight",
+        "pending",
+        "pending_iters",
+        "pending_count",
+        "pending_bytes",
+        "next_send_ns",
+        "pace_armed",
+        "last_activity_ns",
+        "acks_since_update",
+        "marks_since_update",
+        "last_update_ns",
+    )
+
+    def __init__(self, window: float, last_update_ns: float = 0.0):
+        self.window = window  # property assignment: also sets eff_window
+        self.in_flight = 0
+        self.pending = deque()
+        # Lazy segmentation: submitted messages sit here as un-consumed
+        # packet generators (FIFO); `pending` holds only already-
+        # materialized packets (e.g. none in the common case).  The
+        # counters track what remains across both, so the hot path never
+        # walks either container.
+        self.pending_iters = deque()
+        self.pending_count = 0
+        self.pending_bytes = 0.0
+        self.next_send_ns = 0.0  # pacing gate (used when window < 1)
+        self.pace_armed = False  # a pacing-timer wakeup is scheduled
+        self.last_activity_ns = 0.0  # last send/ack (for idle state aging)
+        # EcnCC bookkeeping
+        self.acks_since_update = 0
+        self.marks_since_update = 0
+        self.last_update_ns = last_update_ns
+
+    @property
+    def window(self) -> float:
+        return self._window
+
+    @window.setter
+    def window(self, w: float) -> None:
+        self._window = w
+        self.eff_window = w if w > 1.0 else 1.0
 
     @property
     def can_send(self) -> bool:
-        return self.in_flight < max(self.window, 1.0)
+        return self.in_flight < self.eff_window
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PairState(window={self._window}, in_flight={self.in_flight}, "
+            f"pending={self.pending_count})"
+        )
 
 
 class CongestionControl:
@@ -123,20 +165,29 @@ class SlingshotCC(CongestionControl):
         return self.initial
 
     def on_ack(self, state: PairState, marked: bool, now: float) -> None:
-        before = state.window
+        # Runs once per ack: the window is read and written through the
+        # PairState backing slots (same values as max()/min() over the
+        # property, without the descriptor dispatch), and eff_window is
+        # maintained exactly as the property setter would.
+        before = state._window
         if marked:
-            state.window = max(self.min_window, state.window * self.decrease_factor)
-        elif state.window < 1.0:
+            w = before * self.decrease_factor
+            if w < self.min_window:
+                w = self.min_window
+        elif before < 1.0:
             # Gentle multiplicative probe back towards one outstanding
             # packet once the marks stop.
-            state.window = min(self.max_window, state.window * 1.25)
+            w = before * 1.25
+            if w > self.max_window:
+                w = self.max_window
         else:
-            state.window = min(
-                self.max_window,
-                state.window + self.increase_per_window / state.window,
-            )
+            w = before + self.increase_per_window / before
+            if w > self.max_window:
+                w = self.max_window
+        state._window = w
+        state.eff_window = w if w > 1.0 else 1.0
         if self.telem is not None:
-            self.telem.acked(before, state.window)
+            self.telem.acked(before, w)
 
 
 class NoCC(CongestionControl):

@@ -70,20 +70,28 @@ class VcBufferPool:
         )
 
     def acquire(self, pkt) -> bool:
-        """Take buffer space for *pkt* (marks where it came from)."""
-        if self.shared.try_acquire(pkt.size):
+        """Take buffer space for *pkt* (marks where it came from).
+
+        Runs once per wire transmission, so the two
+        ``Credits.try_acquire`` bodies (FIFO-waiter guard + availability
+        check + decrement) are inlined here.
+        """
+        size = pkt.size
+        shared = self.shared
+        if not shared._waiters and shared.available >= size:
+            shared.available -= size
             pkt.buf_shared = True
-            self._in_use += pkt.size
-            for port in self.watchers:
-                port._score_ok = False
-            return True
-        if self.reserved[pkt.vc].try_acquire(pkt.size):
-            pkt.buf_shared = False
-            self._in_use += pkt.size
-            for port in self.watchers:
-                port._score_ok = False
-            return True
-        return False
+        else:
+            res = self.reserved[pkt.vc]
+            if not res._waiters and res.available >= size:
+                res.available -= size
+                pkt.buf_shared = False
+            else:
+                return False
+        self._in_use += size
+        for port in self.watchers:
+            port._score_ok = False
+        return True
 
     def bulk_acquire_shared(self, total: float) -> bool:
         """Take *total* bytes from the shared region in one step.
@@ -104,10 +112,23 @@ class VcBufferPool:
         self._in_use -= size
         for port in self.watchers:
             port._score_ok = False
-        if was_shared:
-            self.shared.release(size)
-        else:
-            self.reserved[vc].release(size)
+        # Inlined Credits.release (one call per wire transmission): the
+        # over-release invariant, FIFO waiter drain, and one-shot
+        # listeners, verbatim.
+        c = self.shared if was_shared else self.reserved[vc]
+        c.available += size
+        if c.available > c.total + 1e-9:
+            raise RuntimeError(
+                f"credit over-release: {c.available} > total {c.total}"
+            )
+        while c._waiters and c.available >= c._waiters[0][1]:
+            ev, amt = c._waiters.popleft()
+            c.available -= amt
+            ev.succeed()
+        if c._release_listeners:
+            listeners, c._release_listeners = c._release_listeners, []
+            for fn in listeners:
+                fn()
         if self._waiters:
             waiters, self._waiters = self._waiters, {}
             for fn in waiters.values():

@@ -23,9 +23,9 @@ from ..core.traffic_classes import TrafficClass, default_traffic_classes
 from ..sim import Event, Simulator
 from ..sim.rng import stable_hash
 from .dragonfly import DragonflyParams, DragonflyTopology
-from .nic import NIC
+from .nic import NIC, ReferenceNIC
 from .packet import ROCE_HEADER_BYTES, Message
-from .switch import OutputPort, Switch
+from .switch import OutputPort, ReferenceOutputPort, Switch
 from .units import KiB, gbps
 
 __all__ = ["LinkSpec", "FabricConfig", "Fabric", "LinkRef"]
@@ -143,6 +143,12 @@ class FabricConfig:
     #: automatically wherever it would be observable: marking host
     #: ports, shared pools, LLR, telemetry, fault injection.)
     burst_batching: bool = False
+    #: allocation-free NIC/port delivery path (the default).  False swaps
+    #: in ReferenceNIC/ReferenceOutputPort — the straight-line executable
+    #: spec, bit-identical event-for-event (pinned by
+    #: tests/test_delivery_path_equivalence.py); keep it available for
+    #: differential debugging of the hot path.
+    delivery_fast_path: bool = True
     seed: int = 0
 
     def build(self, sim: Optional[Simulator] = None) -> "Fabric":
@@ -176,8 +182,9 @@ class Fabric:
             )
             for s in range(self.topology.n_switches)
         ]
+        nic_cls = NIC if config.delivery_fast_path else ReferenceNIC
         self.nics: List[NIC] = [
-            NIC(
+            nic_cls(
                 self.sim,
                 n,
                 self.cc,
@@ -234,7 +241,8 @@ class Fabric:
         pools = None
         if self.config.shared_switch_buffers and isinstance(rx, Switch):
             pools = self._switch_pools(rx.id)
-        port = OutputPort(
+        port_cls = OutputPort if self.config.delivery_fast_path else ReferenceOutputPort
+        port = port_cls(
             self.sim,
             owner,
             kind,

@@ -21,13 +21,22 @@ outright.  When a :class:`~repro.faults.FaultInjector` is attached it
 arms ``self.retrans`` — an exponential-backoff retransmission timer that
 re-injects stranded packets, with receiver-side duplicate suppression —
 preserving the paper's "lossless to the application" behaviour under
-faults.  ``retrans`` is None by default and every hook below is a single
-attribute check, so an un-faulted fabric is bit-identical to one built
-before this layer existed.
+faults.  ``retrans`` is None by default.
+
+Delivery fast path: :class:`NIC` is the production implementation —
+``_pump``/``on_ack``/``receive`` are allocation-free and branch-lean
+(cached effective window via ``PairState.eff_window``, the three
+``telem``/``audit``/``retrans`` hook checks folded into one precomputed
+``_hot`` flag maintained by property setters, event scheduling inlined
+against the engine's documented ``_queue``/``_seq`` contract).
+:class:`ReferenceNIC` keeps the straight-line spec and is selected with
+``FabricConfig(delivery_fast_path=False)``;
+``tests/test_delivery_path_equivalence.py`` pins the two event-for-event.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Dict, Optional
 
 from ..core.congestion_control import CongestionControl, PairState
@@ -35,7 +44,7 @@ from ..sim import Simulator
 from .packet import Message, Packet
 from .switch import OutputPort
 
-__all__ = ["NIC"]
+__all__ = ["NIC", "ReferenceNIC"]
 
 
 class NIC:
@@ -60,9 +69,10 @@ class NIC:
         "acks_clean",
         "nic_lookup",
         "idle_reset_ns",
-        "telem",
-        "audit",
-        "retrans",
+        "_telem",
+        "_audit",
+        "_retrans",
+        "_hot",
     )
 
     def __init__(
@@ -98,12 +108,55 @@ class NIC:
         self.nic_lookup = nic_lookup
         #: CC state for a pair idle this long resets to the initial window
         self.idle_reset_ns = idle_reset_ns
-        #: telemetry hooks (repro.telemetry); None = zero-overhead path
-        self.telem = None
-        #: invariant auditor (repro.validate); None = zero-overhead path
-        self.audit = None
-        #: end-to-end reliability (repro.faults); None = zero-overhead path
-        self.retrans = None
+        self._telem = None
+        self._audit = None
+        self._retrans = None
+        self._hot = False
+
+    # -- hook plumbing --------------------------------------------------------
+    #
+    # telem/audit/retrans are attached and detached by external layers
+    # (telemetry, validate, faults).  They are properties so that every
+    # assignment refreshes ``_hot`` — the single per-packet dispatch flag
+    # the fast path checks instead of three attribute tests.  None = the
+    # zero-overhead path; an un-hooked fabric is bit-identical to one
+    # built before these layers existed.
+
+    @property
+    def telem(self):
+        """Telemetry hooks (repro.telemetry); None = zero-overhead path."""
+        return self._telem
+
+    @telem.setter
+    def telem(self, value) -> None:
+        self._telem = value
+        self._hot = (
+            value is not None or self._audit is not None or self._retrans is not None
+        )
+
+    @property
+    def audit(self):
+        """Invariant auditor (repro.validate); None = zero-overhead path."""
+        return self._audit
+
+    @audit.setter
+    def audit(self, value) -> None:
+        self._audit = value
+        self._hot = (
+            self._telem is not None or value is not None or self._retrans is not None
+        )
+
+    @property
+    def retrans(self):
+        """End-to-end reliability (repro.faults); None = zero-overhead path."""
+        return self._retrans
+
+    @retrans.setter
+    def retrans(self, value) -> None:
+        self._retrans = value
+        self._hot = (
+            self._telem is not None or self._audit is not None or value is not None
+        )
 
     # -- send side ----------------------------------------------------------
 
@@ -111,7 +164,8 @@ class NIC:
         """Queue a message for transmission (returns immediately)."""
         if msg.src != self.node:
             raise ValueError(f"message src {msg.src} submitted at NIC {self.node}")
-        msg.submit_time = self.sim.now
+        now = self.sim.now
+        msg.submit_time = now
         if msg.dst == self.node:
             # Loopback: the paper's systems never self-send over the wire;
             # deliver after NIC processing only.
@@ -121,13 +175,20 @@ class NIC:
         # Idle pairs age out: hardware tracking state for a quiet
         # destination resets, so a fresh burst starts at the initial
         # window again (this is what makes bursty congestion transiently
-        # effective in the paper's Fig. 12).
+        # effective in the paper's Fig. 12).  The reset covers the whole
+        # CC bookkeeping, not just the window: EcnCC's period counters
+        # describe traffic from before the quiet period, and acting on
+        # those stale marks would throttle the fresh burst for congestion
+        # that is long gone.
         if (
             self.idle_reset_ns > 0
-            and self.sim.now - state.last_activity_ns > self.idle_reset_ns
+            and now - state.last_activity_ns > self.idle_reset_ns
         ):
             state.window = self.cc.initial_window()
-        state.last_activity_ns = self.sim.now
+            state.acks_since_update = 0
+            state.marks_since_update = 0
+            state.last_update_ns = now
+        state.last_activity_ns = now
         # Lazy segmentation: park the generator, not 64 Packet objects.
         # _pump materializes packets one by one as the window admits them.
         state.pending_iters.append(msg.packets(self.header_bytes))
@@ -138,7 +199,12 @@ class NIC:
     def _pair(self, dst: int) -> PairState:
         state = self.pairs.get(dst)
         if state is None:
-            state = PairState(window=self.cc.initial_window())
+            # last_update_ns anchors at pair creation: a 0.0 default would
+            # put a pair born mid-sim instantly past EcnCC's update period,
+            # letting a single marked first ack cut the window in half.
+            state = PairState(
+                window=self.cc.initial_window(), last_update_ns=self.sim.now
+            )
             self.pairs[dst] = state
         return state
 
@@ -153,6 +219,224 @@ class NIC:
         state.pending_count -= 1
         state.pending_bytes -= pkt.size
         return pkt
+
+    def _pump(self, state: PairState) -> None:
+        # Admission fast path.  The unpaced regime (window >= 1, by far
+        # the common case) compares in_flight against the cached
+        # eff_window once per admitted packet and checks the folded _hot
+        # flag instead of three hook attributes; the paced regime keeps
+        # the straight-line reference structure (it is throttled to at
+        # most one packet per pacing interval by construction).
+        if state._window >= 1.0:
+            if not state.pending_count:
+                return
+            now = self.sim.now
+            eff = state.eff_window
+            enqueue = self.out_port.enqueue
+            hot = self._hot
+            pending = state.pending
+            iters = state.pending_iters
+            while state.in_flight < eff:
+                # inlined _next_pending(state)
+                if pending:
+                    pkt = pending.popleft()
+                else:
+                    pkt = next(iters[0])
+                    if pkt.is_last:
+                        iters.popleft()
+                state.pending_count -= 1
+                size = pkt.size
+                state.pending_bytes -= size
+                state.in_flight += 1
+                pkt.inject_time = now
+                self.bytes_injected += size
+                self.pkts_injected += 1
+                if hot:
+                    if self._telem is not None:
+                        self._telem.injected(pkt, state)
+                    if self._audit is not None:
+                        self._audit.on_injected(self, pkt)
+                    if self._retrans is not None:
+                        self._retrans.on_inject(pkt, state)
+                enqueue(pkt)
+                if not state.pending_count:
+                    return
+            return
+        now = self.sim.now
+        while state.pending_count and state.in_flight < state.eff_window:
+            if now < state.next_send_ns:
+                if not state.pace_armed:
+                    state.pace_armed = True
+                    self.sim.schedule(state.next_send_ns - now, self._pace_fire, state)
+                return
+            pkt = self._next_pending(state)
+            state.in_flight += 1
+            pkt.inject_time = now
+            self.bytes_injected += pkt.size
+            self.pkts_injected += 1
+            if self._telem is not None:
+                self._telem.injected(pkt, state)
+            if self._audit is not None:
+                self._audit.on_injected(self, pkt)
+            if self._retrans is not None:
+                self._retrans.on_inject(pkt, state)
+            # Fractional window => rate pacing: one packet per
+            # (serialization / window) interval.
+            state.next_send_ns = now + pkt.size / self.out_port.bandwidth / state._window
+            self.out_port.enqueue(pkt)
+
+    def _pace_fire(self, state: PairState) -> None:
+        state.pace_armed = False
+        self._pump(state)
+
+    def _reinject(self, pkt: Packet) -> None:
+        """Put a retransmission clone on the wire, bypassing the window
+        (the lost original still holds its in-flight slot).  Only ever
+        called by the end-to-end reliability layer (repro.faults)."""
+        pkt.inject_time = self.sim.now
+        self.bytes_injected += pkt.size
+        self.pkts_injected += 1
+        if self._telem is not None:
+            self._telem.injected(pkt, self._pair(pkt.dst))
+        if self._audit is not None:
+            self._audit.on_injected(self, pkt)
+        self.out_port.enqueue(pkt)
+
+    def _deliver_loopback(self, msg: Message) -> None:
+        msg.delivered_packets = msg.npackets
+        msg.first_arrival_time = self.sim.now
+        msg.complete_time = self.sim.now
+        if msg.on_complete is not None:
+            msg.on_complete(msg)
+        if self.on_message is not None:
+            self.on_message(msg)
+
+    # -- receive side ---------------------------------------------------------
+
+    def receive(self, pkt: Packet, from_port: OutputPort) -> None:
+        """Wire delivery at the destination NIC."""
+        sim = self.sim
+        now = sim.now
+        # The NIC drains its RX buffer at line rate: free the last-hop
+        # switch buffer slot right away (credit returns over the wire).
+        # pkt.vc/buf_shared are still as the last-hop port acquired them
+        # (only switches bump them), so they index the right pool here.
+        # Scheduled against the engine's documented _queue/_seq contract.
+        sim._seq += 1
+        heappush(
+            sim._queue,
+            (
+                now + from_port.prop_delay,
+                sim._seq,
+                from_port.credits[pkt.tc].release,
+                (pkt.size, pkt.vc, pkt.buf_shared),
+            ),
+        )
+        self.bytes_delivered += pkt.size
+        self.pkts_delivered += 1
+        msg = pkt.message
+        hot = self._hot
+        if hot and self._retrans is not None and not self._retrans.on_deliver(pkt):
+            # Duplicate of a packet that already arrived (the "lost"
+            # original survived after all): suppress message accounting,
+            # but still ack so the sender settles this attempt too.
+            msg = None
+        if msg is not None:
+            msg.delivered_packets += 1
+            if msg.first_arrival_time is None:
+                msg.first_arrival_time = now
+            if msg.delivered_packets >= msg.npackets and msg.complete_time is None:
+                msg.complete_time = now
+                if msg.on_complete is not None:
+                    msg.on_complete(msg)
+                if self.on_message is not None:
+                    self.on_message(msg)
+        if hot:
+            if self._telem is not None:
+                self._telem.delivered(pkt, msg)
+            if self._audit is not None:
+                self._audit.on_delivered(self, pkt)
+        # End-to-end ack back to the source (contention-free reverse path:
+        # wire propagation both ways + switch pipelines + NIC overhead).
+        src_nic = self.nic_lookup(pkt.src)
+        sim._seq += 1
+        heappush(
+            sim._queue,
+            (
+                now
+                + pkt.prop_sum
+                + pkt.hops * self.switch_latency
+                + self.ack_overhead,
+                sim._seq,
+                src_nic.on_ack,
+                (pkt,),
+            ),
+        )
+
+    # -- ack path -------------------------------------------------------------
+
+    def on_ack(self, pkt: Packet) -> None:
+        retrans = self._retrans
+        if retrans is not None and not retrans.on_ack(pkt):
+            return  # ack for an attempt that was already settled
+        state = self.pairs[pkt.dst]
+        now = self.sim.now
+        state.in_flight -= 1
+        state.last_activity_ns = now
+        if pkt.marked:
+            self.acks_marked += 1
+        else:
+            self.acks_clean += 1
+        self.cc.on_ack(state, pkt.marked, now)
+        if self._telem is not None:
+            self._telem.acked(pkt, state)
+        self._pump(state)
+
+    # -- introspection ----------------------------------------------------------
+
+    def window(self, dst: int) -> float:
+        """Current congestion window towards *dst* (diagnostics)."""
+        state = self.pairs.get(dst)
+        return state.window if state else self.cc.initial_window()
+
+    def queued_bytes(self) -> float:
+        """Bytes waiting in host memory for window space (diagnostics)."""
+        return float(sum(s.pending_bytes for s in self.pairs.values()))
+
+    def pending_packets(self) -> int:
+        """Packets waiting in host memory for window space (diagnostics)."""
+        return sum(s.pending_count for s in self.pairs.values())
+
+    def blocked_pairs(self) -> int:
+        """Destinations with queued traffic that the congestion window is
+        currently holding back (diagnostics; scrape-time only).  Pairs
+        gated by the pacing timer count too: a fractional window with
+        nothing in flight but an armed pace wakeup is window-blocked,
+        not idle."""
+        return sum(
+            1
+            for s in self.pairs.values()
+            if s.pending_count and (s.in_flight >= s.eff_window or s.pace_armed)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NIC(node={self.node})"
+
+
+class ReferenceNIC(NIC):
+    """Straight-line reference delivery path (executable specification).
+
+    Selected with ``FabricConfig(delivery_fast_path=False)``.  Behaviour
+    must be bit-identical to :class:`NIC` — same packets, same event
+    times, same event order — which
+    ``tests/test_delivery_path_equivalence.py`` enforces event-for-event
+    (healthy, under fault schedules with retransmissions, and in the
+    paced/marked regimes).  Keep this implementation boring: every hook
+    is an attribute check, every event goes through
+    :meth:`Simulator.schedule`.
+    """
+
+    __slots__ = ()
 
     def _pump(self, state: PairState) -> None:
         now = self.sim.now
@@ -175,45 +459,10 @@ class NIC:
             if self.retrans is not None:
                 self.retrans.on_inject(pkt, state)
             if paced:
-                # Fractional window => rate pacing: one packet per
-                # (serialization / window) interval.
                 state.next_send_ns = now + pkt.size / self.out_port.bandwidth / state.window
             self.out_port.enqueue(pkt)
 
-    def _pace_fire(self, state: PairState) -> None:
-        state.pace_armed = False
-        self._pump(state)
-
-    def _reinject(self, pkt: Packet) -> None:
-        """Put a retransmission clone on the wire, bypassing the window
-        (the lost original still holds its in-flight slot).  Only ever
-        called by the end-to-end reliability layer (repro.faults)."""
-        pkt.inject_time = self.sim.now
-        self.bytes_injected += pkt.size
-        self.pkts_injected += 1
-        if self.telem is not None:
-            self.telem.injected(pkt, self._pair(pkt.dst))
-        if self.audit is not None:
-            self.audit.on_injected(self, pkt)
-        self.out_port.enqueue(pkt)
-
-    def _deliver_loopback(self, msg: Message) -> None:
-        msg.delivered_packets = msg.npackets
-        msg.first_arrival_time = self.sim.now
-        msg.complete_time = self.sim.now
-        if msg.on_complete is not None:
-            msg.on_complete(msg)
-        if self.on_message is not None:
-            self.on_message(msg)
-
-    # -- receive side ---------------------------------------------------------
-
     def receive(self, pkt: Packet, from_port: OutputPort) -> None:
-        """Wire delivery at the destination NIC."""
-        # The NIC drains its RX buffer at line rate: free the last-hop
-        # switch buffer slot right away (credit returns over the wire).
-        # pkt.vc/buf_shared are still as the last-hop port acquired them
-        # (only switches bump them), so they index the right pool here.
         self.sim.schedule(
             from_port.prop_delay,
             from_port.credits[pkt.tc].release,
@@ -225,9 +474,6 @@ class NIC:
         self.pkts_delivered += 1
         msg = pkt.message
         if self.retrans is not None and not self.retrans.on_deliver(pkt):
-            # Duplicate of a packet that already arrived (the "lost"
-            # original survived after all): suppress message accounting,
-            # but still ack so the sender settles this attempt too.
             msg = None
         if msg is not None:
             msg.delivered_packets += 1
@@ -243,17 +489,13 @@ class NIC:
             self.telem.delivered(pkt, msg)
         if self.audit is not None:
             self.audit.on_delivered(self, pkt)
-        # End-to-end ack back to the source (contention-free reverse path:
-        # wire propagation both ways + switch pipelines + NIC overhead).
         src_nic = self.nic_lookup(pkt.src)
         ack_latency = pkt.prop_sum + pkt.hops * self.switch_latency + self.ack_overhead
         self.sim.schedule(ack_latency, src_nic.on_ack, pkt)
 
-    # -- ack path -------------------------------------------------------------
-
     def on_ack(self, pkt: Packet) -> None:
         if self.retrans is not None and not self.retrans.on_ack(pkt):
-            return  # ack for an attempt that was already settled
+            return
         state = self.pairs[pkt.dst]
         state.in_flight -= 1
         state.last_activity_ns = self.sim.now
@@ -265,30 +507,3 @@ class NIC:
         if self.telem is not None:
             self.telem.acked(pkt, state)
         self._pump(state)
-
-    # -- introspection ----------------------------------------------------------
-
-    def window(self, dst: int) -> float:
-        """Current congestion window towards *dst* (diagnostics)."""
-        state = self.pairs.get(dst)
-        return state.window if state else self.cc.initial_window()
-
-    def queued_bytes(self) -> float:
-        """Bytes waiting in host memory for window space (diagnostics)."""
-        return float(sum(s.pending_bytes for s in self.pairs.values()))
-
-    def pending_packets(self) -> int:
-        """Packets waiting in host memory for window space (diagnostics)."""
-        return sum(s.pending_count for s in self.pairs.values())
-
-    def blocked_pairs(self) -> int:
-        """Destinations with queued traffic that the congestion window is
-        currently holding back (diagnostics; scrape-time only)."""
-        return sum(
-            1
-            for s in self.pairs.values()
-            if s.pending_count and s.in_flight >= max(s.window, 1.0)
-        )
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"NIC(node={self.node})"

@@ -24,12 +24,6 @@ _next_pid = 0
 _next_mid = 0
 
 
-def _fresh_pid() -> int:
-    global _next_pid
-    _next_pid += 1
-    return _next_pid
-
-
 def _fresh_mid() -> int:
     global _next_mid
     _next_mid += 1
@@ -80,7 +74,11 @@ class Packet:
         header_bytes: int = ROCE_HEADER_BYTES,
         is_last: bool = False,
     ):
-        self.pid = _fresh_pid()
+        # Inlined _fresh_pid(): one Packet per wire transmission makes
+        # this constructor part of the delivery hot path.
+        global _next_pid
+        _next_pid += 1
+        self.pid = _next_pid
         self.src = src
         self.dst = dst
         self.payload = payload
@@ -183,18 +181,22 @@ class Message:
         *assignment order* can differ when messages interleave (pids are
         diagnostic identity, never simulation input).
         """
+        src, dst, tc = self.src, self.dst, self.tc
+        npackets = self.npackets
+        last = npackets - 1
         remaining = self.nbytes
-        for i in range(self.npackets):
-            chunk = min(MTU_PAYLOAD, remaining) if self.nbytes > 0 else 0
+        positive = self.nbytes > 0
+        for i in range(npackets):
+            chunk = min(MTU_PAYLOAD, remaining) if positive else 0
             remaining -= chunk
             pkt = Packet(
-                self.src,
-                self.dst,
+                src,
+                dst,
                 chunk,
-                tc=self.tc,
+                tc=tc,
                 message=self,
                 header_bytes=header_bytes,
-                is_last=(i == self.npackets - 1),
+                is_last=(i == last),
             )
             pkt.seq = i
             yield pkt

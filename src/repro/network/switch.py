@@ -30,13 +30,14 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from collections import deque
+from heapq import heappush
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.traffic_classes import TcScheduler, TrafficClass
 from ..sim import Simulator
 from .buffers import VcBufferPool
 
-__all__ = ["OutputPort", "Switch", "NUM_VCS", "VC_RESERVE_BYTES"]
+__all__ = ["OutputPort", "ReferenceOutputPort", "Switch", "NUM_VCS", "VC_RESERVE_BYTES"]
 
 #: Busy-period batching: longest run of packets committed as one burst.
 #: Bounds how far ahead of "now" the port pre-schedules wire events, so
@@ -74,15 +75,19 @@ class OutputPort:
         "pkts_sent",
         "marks_set",
         "name",
-        "telem",
-        "audit",
+        "_telem",
+        "_audit",
         "_retry_armed",
         "_retry_timer",
         "_single_tc",
-        "batching",
+        "_batching",
         "_batch_ok",
         "_burst",
-        "on_dequeue",
+        "_on_dequeue",
+        "_plain",
+        "_mark_at",
+        "_q0",
+        "_pool0",
         "error_rate",
         "replay_latency",
         "replays",
@@ -141,10 +146,8 @@ class OutputPort:
         self.pkts_sent = 0
         self.marks_set = 0
         self.name = name
-        #: telemetry hooks (repro.telemetry); None = zero-overhead path
-        self.telem = None
-        #: invariant auditor (repro.validate); None = zero-overhead path
-        self.audit = None
+        self._telem = None
+        self._audit = None
         self._retry_armed = False
         self._retry_timer = None
         # With one uncapped class, arbitration is trivial (serve the head
@@ -165,11 +168,11 @@ class OutputPort:
         #: master switch, set by the fabric from FabricConfig.burst_batching
         #: (and forced off by FaultInjector.attach: fail-stop semantics
         #: must be able to drop queued packets, not pre-committed bursts)
-        self.batching = False
+        self._batching = False
         #: in-flight burst: (starts, ends, byte_prefix) or None
         self._burst = None
         #: optional hook fired with each dequeued packet (telemetry)
-        self.on_dequeue: Optional[Callable] = None
+        self._on_dequeue: Optional[Callable] = None
         # Link-level reliability: transient frame errors are replayed
         # locally (LLR, paper §II-F).  Zero-cost when error_rate == 0.
         self.error_rate = error_rate
@@ -199,6 +202,77 @@ class OutputPort:
             from ..sim.rng import stable_hash
 
             self._err_rng = _random.Random(stable_hash("llr", seed, name))
+        # Delivery fast path plumbing: aliases for the single-TC queue and
+        # pool (the lists are never replaced after construction), a
+        # precomputed mark gate, and the folded `_plain` dispatch flag.
+        self._q0 = self.queues[0]
+        self._pool0 = self.credits[0]
+        # One comparison replaces the two-clause mark check: a non-host
+        # port can never mark, so its gate is +inf.
+        self._mark_at = mark_threshold if kind == "host" else float("inf")
+        self._refresh_plain()
+
+    # -- hook plumbing ------------------------------------------------------
+    #
+    # telem/audit/on_dequeue/batching are assigned by external layers
+    # (telemetry, validate, observe, the fabric builder, fault injection).
+    # They are properties so every assignment refreshes ``_plain`` — the
+    # single precomputed flag that routes ``_try_send`` onto the
+    # allocation-free fast branch.  A port is *plain* when arbitration is
+    # trivial (one uncapped class), the wire is up, and nothing observes
+    # per-packet dequeues: exactly the state in which the general path's
+    # scheduler/hook/batching/LLR branches are all dead.
+
+    def _refresh_plain(self) -> None:
+        self._plain = (
+            self._single_tc
+            and self.up
+            and not self._batching
+            and self._telem is None
+            and self._audit is None
+            and self._on_dequeue is None
+            and self._err_rng is None
+        )
+
+    @property
+    def telem(self):
+        """Telemetry hooks (repro.telemetry); None = zero-overhead path."""
+        return self._telem
+
+    @telem.setter
+    def telem(self, value) -> None:
+        self._telem = value
+        self._refresh_plain()
+
+    @property
+    def audit(self):
+        """Invariant auditor (repro.validate); None = zero-overhead path."""
+        return self._audit
+
+    @audit.setter
+    def audit(self, value) -> None:
+        self._audit = value
+        self._refresh_plain()
+
+    @property
+    def on_dequeue(self):
+        """Optional hook fired with each dequeued packet (telemetry)."""
+        return self._on_dequeue
+
+    @on_dequeue.setter
+    def on_dequeue(self, value) -> None:
+        self._on_dequeue = value
+        self._refresh_plain()
+
+    @property
+    def batching(self) -> bool:
+        """Busy-period batching master switch (FabricConfig.burst_batching)."""
+        return self._batching
+
+    @batching.setter
+    def batching(self, value: bool) -> None:
+        self._batching = value
+        self._refresh_plain()
 
     # -- congestion telemetry (adaptive routing reads these) ---------------
 
@@ -261,8 +335,8 @@ class OutputPort:
         self.queues[pkt.tc].append(pkt)
         self.backlog += pkt.size
         self._score_ok = False
-        if self.telem is not None:
-            self.telem.enqueue(pkt, self)
+        if self._telem is not None:
+            self._telem.enqueue(pkt, self)
         if not self.busy:
             self._try_send()
 
@@ -275,6 +349,51 @@ class OutputPort:
         return self.credits[tc].can_fit(pkt.vc, pkt.size)
 
     def _try_send(self) -> None:
+        # Plain regime (single uncapped class, wire up, no hooks, no
+        # batching, no LLR): the arbitrate→credit→serialize cycle with
+        # every dead branch removed and both heap pushes inlined against
+        # the engine's documented _queue/_seq contract.  Must stay
+        # op-for-op equivalent to _try_send_general in this state —
+        # ReferenceOutputPort always runs the general body, and the
+        # delivery-path equivalence suite pins the two bit-identical.
+        if self._plain:
+            if self.busy:
+                return
+            q = self._q0
+            if not q:
+                return
+            head = q[0]
+            pool = self._pool0
+            size = head.size
+            # inlined VcBufferPool.can_fit(head.vc, size)
+            if (
+                pool.shared.available < size
+                and pool.reserved[head.vc].available < size
+            ):
+                self._arm_retry()
+                return
+            # inlined _clear_retry(): telem is None and the uncap timer is
+            # never armed for a single uncapped class, so only the flag.
+            self._retry_armed = False
+            pkt = q.popleft()
+            if not q:
+                self.scheduler.reset_deficit(0)
+            if not pool.acquire(pkt):
+                raise RuntimeError("scheduler selected an ineligible queue")
+            if self.backlog > self._mark_at:
+                pkt.marked = True
+                self.marks_set += 1
+            self.busy = True
+            sim = self.sim
+            sim._seq += 1
+            heappush(
+                sim._queue,
+                (sim.now + size / self.bandwidth, sim._seq, self._on_sent, (pkt,)),
+            )
+            return
+        self._try_send_general()
+
+    def _try_send_general(self) -> None:
         if self.busy or not self.up:
             return
         if self._single_tc:
@@ -290,11 +409,11 @@ class OutputPort:
                 return
             self._clear_retry()
             if (
-                self.batching
+                self._batching
                 and len(q) > 1
-                and self.telem is None
-                and self.audit is None
-                and self.on_dequeue is None
+                and self._telem is None
+                and self._audit is None
+                and self._on_dequeue is None
                 and self._err_rng is None
                 and self._try_burst()
             ):
@@ -324,12 +443,12 @@ class OutputPort:
         if self.backlog > self.mark_threshold and self.kind == "host":
             pkt.marked = True
             self.marks_set += 1
-            if self.telem is not None:
-                self.telem.marked(pkt, self)
-        if self.telem is not None:
-            self.telem.arbitrated(pkt, self)
-        if self.on_dequeue is not None:
-            self.on_dequeue(pkt)
+            if self._telem is not None:
+                self._telem.marked(pkt, self)
+        if self._telem is not None:
+            self._telem.arbitrated(pkt, self)
+        if self._on_dequeue is not None:
+            self._on_dequeue(pkt)
         self.busy = True
         wire_time = pkt.size / self.bandwidth
         if self._err_rng is not None:
@@ -434,8 +553,8 @@ class OutputPort:
         # Credit-stall accounting (repro.observe): the port has traffic it
         # cannot move because the downstream buffer is out of space (or a
         # rate cap is pending).  Zero-cost unless telemetry is attached.
-        if self.telem is not None:
-            self.telem.stall_begin(self)
+        if self._telem is not None:
+            self._telem.stall_begin(self)
         if self._single_tc:
             return  # an uncapped class is never token-bucket blocked
         t = self.scheduler.earliest_uncap_time(self.sim.now, self._head_size)
@@ -447,8 +566,8 @@ class OutputPort:
     def _clear_retry(self) -> None:
         """Progress was made: disarm, cancelling any uncap-time timer so
         it never pops through the heap as a stale no-op."""
-        if self._retry_armed and self.telem is not None:
-            self.telem.stall_end(self)
+        if self._retry_armed and self._telem is not None:
+            self._telem.stall_end(self)
         self._retry_armed = False
         if self._retry_timer is not None:
             self._retry_timer.cancel()
@@ -466,32 +585,73 @@ class OutputPort:
 
     def _on_sent(self, pkt) -> None:
         self.busy = False
-        self.backlog -= pkt.size
+        size = pkt.size
+        self.backlog -= size
         self._score_ok = False
-        self.bytes_sent += pkt.size
+        self.bytes_sent += size
         self.pkts_sent += 1
-        if self.telem is not None:
-            self.telem.wire_tx(pkt, self)
-        if self.audit is not None:
-            self.audit.on_wire_tx(self, pkt)
+        if self._telem is not None:
+            self._telem.wire_tx(pkt, self)
+        if self._audit is not None:
+            self._audit.on_wire_tx(self, pkt)
         # The packet has physically left the owner: return the credit for
         # the upstream buffer slot it occupied (credit flies back over the
         # upstream wire).
         # The pool slot must be released as it was acquired on that wire —
         # the downstream switch bumps pkt.vc/buf_shared before this runs,
         # so the arrival_* fields carry the original indices.
+        sim = self.sim
+        now = sim.now
         up = pkt.arrival_port
         if up is not None:
-            self.sim.schedule(
-                up.prop_delay,
-                up.credits[pkt.tc].release,
-                pkt.size,
-                pkt.arrival_vc,
-                pkt.arrival_buf_shared,
+            sim._seq += 1
+            heappush(
+                sim._queue,
+                (
+                    now + up.prop_delay,
+                    sim._seq,
+                    up.credits[pkt.tc].release,
+                    (size, pkt.arrival_vc, pkt.arrival_buf_shared),
+                ),
             )
-        pkt.prop_sum += self.prop_delay
-        self.sim.schedule(self.prop_delay, self.rx.receive, pkt, self)
-        self._try_send()
+        prop = self.prop_delay
+        pkt.prop_sum += prop
+        sim._seq += 1
+        heappush(sim._queue, (now + prop, sim._seq, self.rx.receive, (pkt, self)))
+        # Tail send: in the plain regime start the next serialization
+        # inline (the _try_send body with the busy/up/plain checks already
+        # settled — busy was cleared three lines up); otherwise fall back
+        # to the general dispatcher.
+        if self._plain:
+            q = self._q0
+            if not q:
+                return
+            head = q[0]
+            pool = self._pool0
+            size = head.size
+            if (
+                pool.shared.available < size
+                and pool.reserved[head.vc].available < size
+            ):
+                self._arm_retry()
+                return
+            self._retry_armed = False
+            pkt = q.popleft()
+            if not q:
+                self.scheduler.reset_deficit(0)
+            if not pool.acquire(pkt):
+                raise RuntimeError("scheduler selected an ineligible queue")
+            if self.backlog > self._mark_at:
+                pkt.marked = True
+                self.marks_set += 1
+            self.busy = True
+            sim._seq += 1
+            heappush(
+                sim._queue,
+                (now + size / self.bandwidth, sim._seq, self._on_sent, (pkt,)),
+            )
+            return
+        self._try_send_general()
 
     # -- fault control (repro.faults) ---------------------------------------
     #
@@ -513,8 +673,9 @@ class OutputPort:
         if not self.up:
             return
         self.up = False
-        if self._retry_armed and self.telem is not None:
-            self.telem.stall_end(self)  # close the open credit-stall span
+        self._refresh_plain()
+        if self._retry_armed and self._telem is not None:
+            self._telem.stall_end(self)  # close the open credit-stall span
         self._retry_armed = False
         if self.kind == "inject":
             return  # park, don't drop: the queue is host memory
@@ -540,14 +701,15 @@ class OutputPort:
                 pkt.arrival_vc,
                 pkt.arrival_buf_shared,
             )
-        if self.telem is not None:
-            self.telem.dropped(pkt, self)
+        if self._telem is not None:
+            self._telem.dropped(pkt, self)
 
     def recover(self) -> None:
         """Bring a failed wire back; parked traffic resumes immediately."""
         if self.up:
             return
         self.up = True
+        self._refresh_plain()
         if not self.busy:
             self._try_send()
 
@@ -571,9 +733,48 @@ class OutputPort:
             from ..sim.rng import stable_hash
 
             self._err_rng = _random.Random(stable_hash("llr", seed, self.name))
+        self._refresh_plain()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"OutputPort({self.name or self.kind}, backlog={self.backlog:.0f}B)"
+
+
+class ReferenceOutputPort(OutputPort):
+    """Packet-at-a-time reference port (executable specification).
+
+    Selected with ``FabricConfig(delivery_fast_path=False)``.  Every
+    transmission runs the general arbitrate→credit→serialize body and
+    every event goes through :meth:`Simulator.schedule`; the equivalence
+    suite pins :class:`OutputPort`'s plain branch bit-identical to this.
+    """
+
+    __slots__ = ()
+
+    def _try_send(self) -> None:
+        self._try_send_general()
+
+    def _on_sent(self, pkt) -> None:
+        self.busy = False
+        self.backlog -= pkt.size
+        self._score_ok = False
+        self.bytes_sent += pkt.size
+        self.pkts_sent += 1
+        if self.telem is not None:
+            self.telem.wire_tx(pkt, self)
+        if self.audit is not None:
+            self.audit.on_wire_tx(self, pkt)
+        up = pkt.arrival_port
+        if up is not None:
+            self.sim.schedule(
+                up.prop_delay,
+                up.credits[pkt.tc].release,
+                pkt.size,
+                pkt.arrival_vc,
+                pkt.arrival_buf_shared,
+            )
+        pkt.prop_sum += self.prop_delay
+        self.sim.schedule(self.prop_delay, self.rx.receive, pkt, self)
+        self._try_send()
 
 
 class Switch:
@@ -649,12 +850,17 @@ class Switch:
             return
         if self.telem is not None:
             self.telem.rx(pkt, self)
-        self.sim.schedule(self.latency, self._forward, pkt)
+        sim = self.sim
+        sim._seq += 1
+        heappush(
+            sim._queue, (sim.now + self.latency, sim._seq, self._forward, (pkt,))
+        )
 
     def _forward(self, pkt) -> None:
-        pkt.hops += 1
+        hops = pkt.hops + 1
+        pkt.hops = hops
         # VC = hops taken so far; strictly increasing => no buffer cycles.
-        pkt.vc = min(pkt.hops, NUM_VCS - 1)
+        pkt.vc = hops if hops < NUM_VCS else NUM_VCS - 1
         pkt.path.append(self.id)
         self.pkts_forwarded += 1
         out = self.router.route(self, pkt)

@@ -20,6 +20,20 @@ Time is measured in **nanoseconds** (floats), sizes in **bytes**, and
 bandwidths in **bytes per nanosecond** (so 200 Gb/s == 25 B/ns).  These
 units are used consistently across the whole package; see
 ``repro.network.units`` for named constants and converters.
+
+Producer contract (stable): ``Simulator._queue`` is a plain heapq of
+``(time, seq, fn, args)`` tuples and ``Simulator._seq`` is the tie-break
+counter, incremented by exactly one per pushed entry.  The delivery fast
+path (``repro.network``) relies on this by inlining
+
+    sim._seq += 1
+    heappush(sim._queue, (sim.now + delay, sim._seq, fn, args))
+
+for its per-packet events, which is bit- and order-identical to
+:meth:`Simulator.schedule` minus the negative-delay guard and call
+frame.  Any change to the entry layout, the tie-break discipline, or the
+heap container must update those producers in the same commit (grep for
+``sim._seq += 1``).
 """
 
 from __future__ import annotations
@@ -304,6 +318,23 @@ class Simulator:
     >>> hits
     ['b', 'a']
     """
+
+    # Slotted: sim.now/_seq/_queue are the most-read attributes in the
+    # whole simulator (every event touches them, and the delivery fast
+    # path reads them inline), so they bypass the instance dict.
+    __slots__ = (
+        "now",
+        "_queue",
+        "_seq",
+        "_events_processed",
+        "_stopped",
+        "_dead",
+        "last_run_events",
+        "last_run_wall_s",
+        "event_hook",
+        "_watchdog",
+        "stall_diagnostics",
+    )
 
     def __init__(self):
         self.now: float = 0.0

@@ -4,8 +4,15 @@ These watch the *mechanism*, not just the outcome: windows must collapse
 while an incast is hot, only for contributing pairs, and recover after.
 """
 
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.congestion_control import EcnCC, PairState, make_cc
+from repro.network.dragonfly import DragonflyParams
 from repro.network.units import KiB, MS
-from repro.systems import malbec_mini
+from repro.systems import malbec_mini, slingshot_config
 
 
 def start_incast(fabric, senders, target, n_msgs=30, nbytes=128 * KiB):
@@ -60,3 +67,131 @@ def test_incast_generates_marks():
     fabric.sim.run()
     total_marked = sum(nic.acks_marked for nic in fabric.nics)
     assert total_marked > 0
+
+
+# -- idle-reset and first-ack regressions -------------------------------------
+
+
+def test_idle_reset_clears_full_cc_bookkeeping():
+    """Aging an idle pair must reset *all* per-pair CC state, not just the
+    window: EcnCC period counters describe pre-idle traffic, and acting on
+    those stale marks would throttle the fresh burst for congestion that
+    is long gone."""
+    fabric = malbec_mini(cc="ecn").build()
+    fabric.send(1, 0, 8 * KiB)
+    fabric.sim.run()
+    nic = fabric.nics[1]
+    state = nic.pairs[0]
+    # fabricate stale pre-idle bookkeeping, then let the pair go idle
+    state.window = 3.0
+    state.acks_since_update = 7
+    state.marks_since_update = 7
+    state.last_update_ns = 1.0
+    state.last_activity_ns = fabric.sim.now - 2 * nic.idle_reset_ns
+    fabric.send(1, 0, 8 * KiB)  # fresh burst after the quiet period
+    assert state.window == nic.cc.initial_window()
+    assert state.acks_since_update == 0
+    assert state.marks_since_update == 0
+    assert state.last_update_ns == fabric.sim.now
+
+
+def test_ecn_first_ack_respects_pair_creation_anchor():
+    """A pair born mid-simulation must not react to its first marked ack:
+    the slow loop's period anchors at pair creation, not at t=0."""
+    cc = EcnCC(update_period_ns=50_000.0)
+    state = PairState(cc.initial_window(), last_update_ns=200_000.0)
+    cc.on_ack(state, marked=True, now=200_010.0)  # well within the period
+    assert state.window == cc.initial_window()
+    assert state.marks_since_update == 1  # remembered, acted on later
+    cc.on_ack(state, marked=True, now=251_000.0)  # period elapsed
+    assert state.window < cc.initial_window()
+
+
+def test_pair_created_mid_sim_anchors_at_creation_time():
+    fabric = malbec_mini(cc="ecn").build()
+    fabric.sim.schedule(200_000.0, fabric.send, 1, 0, 8 * KiB)
+    fabric.sim.run(until=200_001.0)
+    assert fabric.nics[1].pairs[0].last_update_ns >= 200_000.0
+
+
+def test_blocked_pairs_counts_paced_pairs():
+    """A pair throttled below one packet per RTT is blocked on its pacing
+    timer even with nothing in flight; blocked_pairs() must see it."""
+    fabric = malbec_mini().build()
+    nic = fabric.nics[0]
+    state = nic._pair(1)
+    state.window = 0.5
+    state.pending_count = 3
+    state.pace_armed = True
+    assert nic.blocked_pairs() == 1
+    state.pace_armed = False  # timer fired, not yet window-blocked
+    assert nic.blocked_pairs() == 0
+
+
+# -- window-bound invariants (all three strategies) ---------------------------
+
+
+def _bounds(cc):
+    return getattr(cc, "min_window", 0.0), getattr(cc, "max_window", float("inf"))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(["slingshot", "ecn", "none"]),
+    acks=st.lists(
+        st.tuples(st.booleans(), st.floats(min_value=1.0, max_value=120_000.0)),
+        min_size=1,
+        max_size=200,
+    ),
+)
+def test_window_stays_bounded_under_arbitrary_ack_sequences(name, acks):
+    cc = make_cc(name)
+    state = PairState(cc.initial_window(), last_update_ns=0.0)
+    lo, hi = _bounds(cc)
+    t = 0.0
+    for marked, dt in acks:
+        t += dt
+        cc.on_ack(state, marked, t)
+        assert lo <= state.window <= hi
+        assert state.eff_window == max(state.window, 1.0)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    cc_name=st.sampled_from(["slingshot", "ecn", "none"]),
+    seed=st.integers(0, 100),
+)
+def test_live_fabric_pair_invariants_all_strategies(cc_name, seed):
+    """Checked at every dispatched event, not just at drain: windows in
+    bounds, counters never negative, eff_window cache coherent."""
+    cfg = slingshot_config(
+        DragonflyParams(2, 3, 2, links_per_pair=1),
+        seed=seed,
+        cc=cc_name,
+        mark_threshold=8 * KiB,
+    )
+    fabric = cfg.build()
+    lo, hi = _bounds(fabric.cc)
+
+    def check(t, fn, args):
+        for nic in fabric.nics:
+            for state in nic.pairs.values():
+                assert lo <= state.window <= hi
+                assert state.eff_window == max(state.window, 1.0)
+                assert state.in_flight >= 0
+                assert state.pending_count >= 0
+                assert state.pending_bytes >= 0
+
+    fabric.sim.event_hook = check
+    rng = random.Random(seed)
+    nn = fabric.topology.n_nodes
+    for _ in range(10):
+        src, dst = rng.randrange(nn), rng.randrange(nn)
+        if src != dst:
+            fabric.send(src, dst, rng.choice([8, 4_000, 64_000]))
+    for s in range(1, nn):  # incast tail to force marks
+        fabric.send(s, 0, 16 * KiB)
+    fabric.sim.run()
+    for nic in fabric.nics:
+        for state in nic.pairs.values():
+            assert state.in_flight == 0 and state.pending_count == 0

@@ -1,0 +1,195 @@
+"""Property: fast delivery path == reference delivery path, event for event.
+
+The allocation-free NIC/port delivery path (``delivery_fast_path=True``,
+the default) inlines scheduling, caches effective windows, and folds the
+telemetry/audit/retransmission hook checks into precomputed dispatch
+flags.  None of that may be *observable*: across random topologies,
+seeds, traffic, congestion-control strategies, and generated fault
+schedules (which exercise retransmission, hook attachment, and the
+degraded-port paths), the entire simulated event stream must be
+identical to the straight-line reference implementation
+(``ReferenceNIC``/``ReferenceOutputPort``, ``delivery_fast_path=False``).
+The comparison reuses the determinism differ's
+:class:`~repro.validate.differ.EventTrace` (pid/mid-normalized labels),
+so any divergence reports the exact first event where the two
+implementations disagreed.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultSchedule
+from repro.network.dragonfly import DragonflyParams
+from repro.network.units import KiB
+from repro.systems import aries_config, slingshot_config
+from repro.validate.differ import EventTrace
+
+
+def _run_traced(cfg, seed, schedule_of=None, traffic=None):
+    """Build, inject deterministic random traffic, run under an EventTrace."""
+    fabric = cfg.build()
+    if schedule_of is not None:
+        fabric.attach_faults(
+            schedule_of(fabric), base_rto_ns=100_000.0, max_rto_ns=400_000.0
+        )
+    trace = EventTrace()
+    fabric.sim.event_hook = trace
+    if traffic is not None:
+        traffic(fabric)
+    else:
+        rng = random.Random(seed)
+        nn = fabric.topology.n_nodes
+        sent = 0
+        while sent < 12:
+            src, dst = rng.randrange(nn), rng.randrange(nn)
+            if src == dst:
+                continue
+            fabric.send(src, dst, rng.choice([8, 4_000, 24_000]))
+            sent += 1
+    fabric.sim.run()
+    return fabric, trace
+
+
+def _norm(event):
+    """Erase the only permitted difference: the implementing class name.
+
+    ``ReferenceNIC``/``ReferenceOutputPort`` override methods, so the
+    trace label's ``__qualname__`` prefix names the subclass; everything
+    else (timestamps, method, receiver, normalized arguments) must match
+    exactly.
+    """
+    t, label = event
+    return (
+        t,
+        label.replace("ReferenceOutputPort.", "OutputPort.").replace(
+            "ReferenceNIC.", "NIC."
+        ),
+    )
+
+
+def _assert_equivalent(cfg, seed, schedule_of=None, traffic=None):
+    fab_fast, trace_fast = _run_traced(cfg, seed, schedule_of, traffic)
+    fab_ref, trace_ref = _run_traced(
+        cfg.with_(delivery_fast_path=False), seed, schedule_of, traffic
+    )
+    # event-for-event identity (first mismatch pinpointed for debugging);
+    # full-list equality over normalized labels subsumes the fingerprint
+    n = min(len(trace_fast), len(trace_ref))
+    for i in range(n):
+        assert _norm(trace_fast.events[i]) == _norm(trace_ref.events[i]), (
+            f"first divergence at event {i}: "
+            f"fast={trace_fast.events[i]!r} ref={trace_ref.events[i]!r}"
+        )
+    assert len(trace_fast) == len(trace_ref)
+    # and the endpoints agree on every delivery statistic
+    assert fab_fast.packets_delivered() == fab_ref.packets_delivered()
+    assert fab_fast.packets_dropped() == fab_ref.packets_dropped()
+    for nf, nr in zip(fab_fast.nics, fab_ref.nics):
+        assert nf.pkts_injected == nr.pkts_injected
+        assert nf.pkts_delivered == nr.pkts_delivered
+        assert nf.acks_marked == nr.acks_marked
+        assert nf.acks_clean == nr.acks_clean
+        assert nf.blocked_pairs() == nr.blocked_pairs()
+        for key, sf in nf.pairs.items():
+            sr = nr.pairs[key]
+            assert sf.window == sr.window, key
+            assert sf.in_flight == sr.in_flight, key
+            assert sf.pending_count == sr.pending_count, key
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    p=st.integers(1, 2),
+    a=st.integers(2, 3),
+    g=st.integers(2, 4),
+    links=st.integers(1, 2),
+    seed=st.integers(0, 1_000),
+)
+def test_fast_path_matches_reference_healthy(p, a, g, links, seed):
+    cfg = slingshot_config(
+        DragonflyParams(p, a, g, links_per_pair=links), seed=seed
+    )
+    _assert_equivalent(cfg, seed)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    p=st.integers(1, 2),
+    a=st.integers(2, 3),
+    g=st.integers(2, 4),
+    seed=st.integers(0, 1_000),
+    n_faults=st.integers(1, 4),
+)
+def test_fast_path_matches_reference_under_faults(p, a, g, seed, n_faults):
+    """Faults exercise retransmission, hook dispatch, and port fail/recover
+    (which must keep the precomputed ``_plain`` flag coherent)."""
+    cfg = slingshot_config(
+        DragonflyParams(p, a, g, links_per_pair=2), seed=seed
+    )
+
+    def schedule_of(fabric):
+        return FaultSchedule.generate(
+            fabric,
+            seed=seed,
+            n_faults=n_faults,
+            t_start=5_000.0,
+            t_end=400_000.0,
+            switch_faults=seed % 2,
+        )
+
+    _assert_equivalent(cfg, seed, schedule_of)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 1_000))
+def test_fast_path_matches_reference_ecn(seed):
+    """EcnCC drives the slow-loop bookkeeping (acks/marks_since_update)."""
+    cfg = slingshot_config(
+        DragonflyParams(2, 3, 3, links_per_pair=1),
+        seed=seed,
+        cc="ecn",
+        mark_threshold=8 * KiB,
+    )
+    _assert_equivalent(cfg, seed)
+
+
+def _incast(fabric):
+    """Everyone sends a burst to node 0: marks pile up and windows go
+    fractional, exercising the paced (window < 1) pump branch."""
+    nn = fabric.topology.n_nodes
+    for src in range(1, nn):
+        fabric.send(src, 0, 32 * KiB)
+        fabric.send(src, 0, 32 * KiB)
+
+
+def test_fast_path_matches_reference_incast_pacing():
+    cfg = slingshot_config(
+        DragonflyParams(2, 3, 3, links_per_pair=1),
+        seed=7,
+        mark_threshold=4 * KiB,
+        cc_kwargs={"initial": 4.0, "min_window": 1.0 / 32.0},
+    )
+    _assert_equivalent(cfg, 7, traffic=_incast)
+
+
+def test_fast_path_matches_reference_aries_shared_buffers():
+    """NoCC + shared switch pools: the infinite-window pump branch and
+    the shared-buffer acquire/release inlining."""
+    cfg = aries_config(
+        DragonflyParams(2, 3, 2, links_per_pair=4),
+        seed=11,
+        switch_buffer_bytes=64 * KiB,
+    )
+    _assert_equivalent(cfg, 11, traffic=_incast)
+
+
+def test_fast_path_matches_reference_burst_batching():
+    """Batching ports must take the general path on both implementations."""
+    cfg = slingshot_config(
+        DragonflyParams(2, 3, 3, links_per_pair=2),
+        seed=3,
+        burst_batching=True,
+    )
+    _assert_equivalent(cfg, 3)
