@@ -141,12 +141,13 @@ def test_fabric_packet_throughput(benchmark, report):
             },
         },
     )
-    # The delivery-path fast path's acceptance bar: past the routing
-    # fast path's ~2.5x over the seed commit.  The allocation-free
-    # NIC/port path measures ~3.0x (47-50k pkt/s) on a quiet machine;
-    # the floor stays at 2.2x because shared-host wall-clock jitter on
-    # sub-second runs reaches ±25%.
-    assert default["pkt_per_s"] > 2.2 * SEED_PKT_RATE
+    # The event-core overhaul's acceptance bar: past the delivery fast
+    # path's ~3.0x over the seed commit.  The calendar queue + packet
+    # recycling measure ~3.3x (interleaved A/B it is 1.35x over the
+    # heap/no-recycle PR 9 configuration on the same machine); the floor
+    # sits at 2.3x because shared-host wall-clock jitter on sub-second
+    # runs reaches ±30% under transient load.
+    assert default["pkt_per_s"] > 2.3 * SEED_PKT_RATE
     # Batching strictly removes per-packet completion events.
     assert batched["events"] <= default["events"]
     assert batched["packets"] == default["packets"]

@@ -20,8 +20,11 @@ over the same public APIs the examples use.
 Two global options come *before* the subcommand:
 
 * ``--profile [PATH]`` wraps the subcommand in cProfile, prints the
-  top-20 cumulative entries, and dumps pstats to PATH (default
-  ``repro.pstats``; inspect with ``python -m pstats``);
+  top-20 cumulative entries (sorted by cumulative time), and dumps
+  pstats to PATH (default ``repro.pstats``; inspect with
+  ``python -m pstats``); ``--profile-out PATH`` sends the formatted
+  table to a file instead of stdout (and implies ``--profile``), so
+  campaign workers profiling in parallel don't interleave output;
 * sweep subcommands take ``--jobs N`` to fan independent cells over a
   process pool (0 = all cores / ``REPRO_JOBS``) with bit-identical
   output.
@@ -683,6 +686,14 @@ def build_parser() -> argparse.ArgumentParser:
              "cumulative entries and dump pstats to PATH "
              "(default repro.pstats; place before the subcommand)",
     )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="write the formatted profile table to PATH instead of stdout "
+             "(implies --profile; campaign workers use this so parallel "
+             "profiles don't interleave on one terminal)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("topology", help="dragonfly design math (Fig. 3)")
@@ -845,7 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.profile is None:
+    if args.profile is None and args.profile_out is None:
         return args.fn(args)
 
     import cProfile
@@ -853,10 +864,20 @@ def main(argv=None) -> int:
 
     prof = cProfile.Profile()
     rc = prof.runcall(args.fn, args)
-    prof.dump_stats(args.profile)
-    stats = pstats.Stats(prof, stream=sys.stdout)
-    stats.sort_stats("cumulative").print_stats(20)
-    print(f"profile dumped to {args.profile} (inspect with python -m pstats)")
+    dump_path = args.profile if args.profile is not None else "repro.pstats"
+    prof.dump_stats(dump_path)
+    if args.profile_out is not None:
+        with open(args.profile_out, "w") as fh:
+            stats = pstats.Stats(prof, stream=fh)
+            stats.sort_stats("cumulative").print_stats(20)
+        print(
+            f"profile table written to {args.profile_out}; "
+            f"pstats dumped to {dump_path}"
+        )
+    else:
+        stats = pstats.Stats(prof, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(20)
+        print(f"profile dumped to {dump_path} (inspect with python -m pstats)")
     return rc
 
 

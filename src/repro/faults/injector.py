@@ -65,7 +65,15 @@ class FaultInjector:
         for nic in fabric.nics:
             nic.out_port.batching = False
         if reliability:
+            # The retransmission tracker keeps a reference to every
+            # unsettled packet, so a dropped packet is NOT dead — port
+            # drop recycling must be off (the NIC ack-path recycling
+            # already suspends itself via the retrans hook / _hot flag).
+            for sw in fabric.switches:
+                for port in sw.all_ports():
+                    port.recycle_drops = False
             for nic in fabric.nics:
+                nic.out_port.recycle_drops = False
                 nic.retrans = EndToEndReliability(
                     nic,
                     base_rto_ns=base_rto_ns,

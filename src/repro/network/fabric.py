@@ -24,7 +24,7 @@ from ..sim import Event, Simulator
 from ..sim.rng import stable_hash
 from .dragonfly import DragonflyParams, DragonflyTopology
 from .nic import NIC, ReferenceNIC
-from .packet import ROCE_HEADER_BYTES, Message
+from .packet import ROCE_HEADER_BYTES, Message, drain_packet_pool
 from .switch import OutputPort, ReferenceOutputPort, Switch
 from .units import KiB, gbps
 
@@ -149,6 +149,22 @@ class FabricConfig:
     #: tests/test_delivery_path_equivalence.py); keep it available for
     #: differential debugging of the hot path.
     delivery_fast_path: bool = True
+    #: event-queue implementation for the fabric's simulator: "calendar"
+    #: (amortized O(1) scheduling, the default) or "heap" (the binary-heap
+    #: reference).  Dispatch order is bit-identical either way, pinned by
+    #: tests/test_event_queue_equivalence.py.
+    queue: str = "calendar"
+    #: return dead packets (acked, or dropped unobserved) to the module
+    #: free-list for reuse.  Invisible to simulation results — pids are
+    #: still assigned in construction order — and automatically suspended
+    #: wherever an observer (telemetry, auditor, reliability layer) could
+    #: hold a reference past the packet's death.
+    recycle_packets: bool = True
+    #: run-loop GC policy for the fabric's simulator: None leaves the
+    #: collector alone; "disable" switches it off during sim.run();
+    #: "freeze" additionally moves the wired fabric into the permanent
+    #: generation first.  Prior collector state is restored on exit.
+    gc_policy: Optional[str] = None
     seed: int = 0
 
     def build(self, sim: Optional[Simulator] = None) -> "Fabric":
@@ -164,7 +180,9 @@ class Fabric:
 
     def __init__(self, config: FabricConfig, sim: Optional[Simulator] = None):
         self.config = config
-        self.sim = sim if sim is not None else Simulator()
+        self.sim = sim if sim is not None else Simulator(queue=config.queue)
+        if config.gc_policy is not None:
+            self.sim.gc_policy = config.gc_policy
         self.topology = DragonflyTopology(config.params)
         router_factory = config.router_factory or (
             lambda topo, seed: AdaptiveRouter(topo, seed)
@@ -192,6 +210,7 @@ class Fabric:
                 config.header_bytes,
                 ack_overhead=config.ack_overhead,
                 nic_lookup=self._nic_lookup,
+                recycle_packets=config.recycle_packets,
             )
             for n in range(self.topology.n_nodes)
         ]
@@ -201,6 +220,17 @@ class Fabric:
         #: link keys attached to each switch (whole-switch failure support)
         self._switch_links: Dict[int, List[tuple]] = {}
         self._wire_everything()
+        if config.recycle_packets:
+            # Dead-packet recycling: drops with no observer return the
+            # packet to the free-list (the ack-path return lives in
+            # NIC.on_ack), and the pool is registered as a drain hook so
+            # an aborted run cannot leak it across runs of one process.
+            for sw in self.switches:
+                for port in sw.all_ports():
+                    port.recycle_drops = True
+            for nic in self.nics:
+                nic.out_port.recycle_drops = True
+            self.sim.register_free_list(drain_packet_pool)
         self.messages_sent = 0
         self.messages_completed = 0
         #: the attached FaultInjector, if any (set by repro.faults)

@@ -27,8 +27,10 @@ Delivery fast path: :class:`NIC` is the production implementation —
 ``_pump``/``on_ack``/``receive`` are allocation-free and branch-lean
 (cached effective window via ``PairState.eff_window``, the three
 ``telem``/``audit``/``retrans`` hook checks folded into one precomputed
-``_hot`` flag maintained by property setters, event scheduling inlined
-against the engine's documented ``_queue``/``_seq`` contract).
+``_hot`` flag maintained by property setters, event scheduling through
+the engine's ``sim.push`` producer contract, and acked packets returned
+to the :mod:`repro.network.packet` free-list when no hook could still
+hold a reference to them).
 :class:`ReferenceNIC` keeps the straight-line spec and is selected with
 ``FabricConfig(delivery_fast_path=False)``;
 ``tests/test_delivery_path_equivalence.py`` pins the two event-for-event.
@@ -36,12 +38,11 @@ against the engine's documented ``_queue``/``_seq`` contract).
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Callable, Dict, Optional
 
 from ..core.congestion_control import CongestionControl, PairState
 from ..sim import Simulator
-from .packet import Message, Packet
+from .packet import Message, Packet, recycle_packet
 from .switch import OutputPort
 
 __all__ = ["NIC", "ReferenceNIC"]
@@ -73,6 +74,8 @@ class NIC:
         "_audit",
         "_retrans",
         "_hot",
+        "_recycle_cfg",
+        "_recycle",
     )
 
     def __init__(
@@ -85,6 +88,7 @@ class NIC:
         ack_overhead: float = 100.0,
         nic_lookup: Optional[Callable[[int], "NIC"]] = None,
         idle_reset_ns: float = 100_000.0,
+        recycle_packets: bool = True,
     ):
         self.sim = sim
         self.node = node
@@ -112,6 +116,12 @@ class NIC:
         self._audit = None
         self._retrans = None
         self._hot = False
+        #: packet free-list policy: _recycle_cfg is the configured wish,
+        #: _recycle the effective flag — recycling is suspended whenever
+        #: any hook is attached (_hot), because telemetry spans, auditors
+        #: and the reliability layer hold packet references past the ack.
+        self._recycle_cfg = recycle_packets
+        self._recycle = recycle_packets
 
     # -- hook plumbing --------------------------------------------------------
     #
@@ -133,6 +143,7 @@ class NIC:
         self._hot = (
             value is not None or self._audit is not None or self._retrans is not None
         )
+        self._recycle = self._recycle_cfg and not self._hot
 
     @property
     def audit(self):
@@ -145,6 +156,7 @@ class NIC:
         self._hot = (
             self._telem is not None or value is not None or self._retrans is not None
         )
+        self._recycle = self._recycle_cfg and not self._hot
 
     @property
     def retrans(self):
@@ -157,6 +169,7 @@ class NIC:
         self._hot = (
             self._telem is not None or self._audit is not None or value is not None
         )
+        self._recycle = self._recycle_cfg and not self._hot
 
     # -- send side ----------------------------------------------------------
 
@@ -321,16 +334,10 @@ class NIC:
         # switch buffer slot right away (credit returns over the wire).
         # pkt.vc/buf_shared are still as the last-hop port acquired them
         # (only switches bump them), so they index the right pool here.
-        # Scheduled against the engine's documented _queue/_seq contract.
-        sim._seq += 1
-        heappush(
-            sim._queue,
-            (
-                now + from_port.prop_delay,
-                sim._seq,
-                from_port.credits[pkt.tc].release,
-                (pkt.size, pkt.vc, pkt.buf_shared),
-            ),
+        sim.push(
+            now + from_port.prop_delay,
+            from_port.credits[pkt.tc].release,
+            (pkt.size, pkt.vc, pkt.buf_shared),
         )
         self.bytes_delivered += pkt.size
         self.pkts_delivered += 1
@@ -359,18 +366,13 @@ class NIC:
         # End-to-end ack back to the source (contention-free reverse path:
         # wire propagation both ways + switch pipelines + NIC overhead).
         src_nic = self.nic_lookup(pkt.src)
-        sim._seq += 1
-        heappush(
-            sim._queue,
-            (
-                now
-                + pkt.prop_sum
-                + pkt.hops * self.switch_latency
-                + self.ack_overhead,
-                sim._seq,
-                src_nic.on_ack,
-                (pkt,),
-            ),
+        sim.push(
+            now
+            + pkt.prop_sum
+            + pkt.hops * self.switch_latency
+            + self.ack_overhead,
+            src_nic.on_ack,
+            (pkt,),
         )
 
     # -- ack path -------------------------------------------------------------
@@ -390,6 +392,11 @@ class NIC:
         self.cc.on_ack(state, pkt.marked, now)
         if self._telem is not None:
             self._telem.acked(pkt, state)
+        # The ack settles the packet's last obligation: with no hook
+        # attached (and the packet never traced), nothing can still hold
+        # a reference, so it goes back to the free-list for reuse.
+        if self._recycle and not pkt.traced:
+            recycle_packet(pkt)
         self._pump(state)
 
     # -- introspection ----------------------------------------------------------

@@ -5,6 +5,17 @@ segments it into :class:`Packet` objects of at most one MTU of payload
 each, plus the RoCEv2 header/trailer overhead the paper details (§II-G:
 Ethernet 26 B incl. preamble + IPv4 20 B + UDP 8 B + InfiniBand 14 B +
 ICRC 4 B = 62 B on a 4 KiB-payload packet).
+
+Packet free-list: one :class:`Packet` per wire transmission makes the
+constructor a top allocation site.  :func:`recycle_packet` returns a
+dead packet (delivered *and* acked, or dropped with no observer) to a
+module-level pool; :meth:`Message.packets` draws from the pool before
+allocating.  Recycled packets are fully re-initialized — including a
+fresh ``pid`` from the same global counter — so simulation behaviour and
+diagnostics are bit-identical with the pool on or off; only object
+*identity* is reused.  Producers guard the recycle call so telemetry
+spans, auditors, and the reliability layer never see a reused object
+(see ``NIC._recycle`` / ``OutputPort.recycle_drops``).
 """
 
 from __future__ import annotations
@@ -13,7 +24,15 @@ from typing import Any, Callable, Iterator, List, Optional
 
 from .units import KiB
 
-__all__ = ["Packet", "Message", "MTU_PAYLOAD", "ROCE_HEADER_BYTES"]
+__all__ = [
+    "Packet",
+    "Message",
+    "MTU_PAYLOAD",
+    "ROCE_HEADER_BYTES",
+    "recycle_packet",
+    "drain_packet_pool",
+    "packet_pool_size",
+]
 
 #: Slingshot RoCEv2 data packets carry up to 4 KiB of data (paper §II-G).
 MTU_PAYLOAD = 4 * KiB
@@ -28,6 +47,45 @@ def _fresh_mid() -> int:
     global _next_mid
     _next_mid += 1
     return _next_mid
+
+
+#: dead-packet free-list (see module docstring).  Capped so a one-off
+#: burst cannot pin an unbounded object graveyard.
+_pool: List["Packet"] = []
+_POOL_CAP = 4096
+
+
+def recycle_packet(pkt: "Packet") -> None:
+    """Return a dead packet to the free-list.
+
+    Clears the fields that reference fabric state (``message``,
+    ``arrival_port``) so a pooled packet keeps nothing alive, and uses
+    ``message is None`` as the already-recycled marker — double-recycling
+    (e.g. a diagnostic bench acking the same packet twice) is a no-op.
+    """
+    if pkt.message is None:
+        return
+    pkt.message = None
+    pkt.arrival_port = None
+    if len(_pool) < _POOL_CAP:
+        _pool.append(pkt)
+
+
+def drain_packet_pool() -> int:
+    """Empty the free-list; returns how many packets were discarded.
+
+    Registered with each fabric's simulator as a free-list drain hook so
+    an aborted run (stall, handler exception) in a reused worker process
+    cannot leak pooled objects into the next run's accounting.
+    """
+    n = len(_pool)
+    _pool.clear()
+    return n
+
+
+def packet_pool_size() -> int:
+    """Current free-list depth (tests and telemetry)."""
+    return len(_pool)
 
 
 class Packet:
@@ -181,23 +239,53 @@ class Message:
         *assignment order* can differ when messages interleave (pids are
         diagnostic identity, never simulation input).
         """
+        global _next_pid
         src, dst, tc = self.src, self.dst, self.tc
         npackets = self.npackets
         last = npackets - 1
         remaining = self.nbytes
         positive = self.nbytes > 0
+        pool = _pool
         for i in range(npackets):
             chunk = min(MTU_PAYLOAD, remaining) if positive else 0
             remaining -= chunk
-            pkt = Packet(
-                src,
-                dst,
-                chunk,
-                tc=tc,
-                message=self,
-                header_bytes=header_bytes,
-                is_last=(i == last),
-            )
+            if pool:
+                # Recycled object: re-initialize every slot, drawing the
+                # pid from the same counter a fresh construction would —
+                # pooling must be invisible to diagnostics.
+                pkt = pool.pop()
+                _next_pid += 1
+                pkt.pid = _next_pid
+                pkt.src = src
+                pkt.dst = dst
+                pkt.payload = chunk
+                pkt.size = chunk + header_bytes
+                pkt.tc = tc
+                pkt.message = self
+                pkt.vc = 0
+                pkt.inject_time = 0.0
+                pkt.hops = 0
+                pkt.path.clear()
+                pkt.prop_sum = 0.0
+                pkt.intermediate_group = None
+                pkt.arrival_port = None
+                pkt.arrival_vc = 0
+                pkt.buf_shared = True
+                pkt.arrival_buf_shared = True
+                pkt.marked = False
+                pkt.is_last = i == last
+                pkt.traced = False
+                pkt.attempt = 0
+            else:
+                pkt = Packet(
+                    src,
+                    dst,
+                    chunk,
+                    tc=tc,
+                    message=self,
+                    header_bytes=header_bytes,
+                    is_last=(i == last),
+                )
             pkt.seq = i
             yield pkt
 

@@ -30,12 +30,12 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from collections import deque
-from heapq import heappush
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.traffic_classes import TcScheduler, TrafficClass
 from ..sim import Simulator
 from .buffers import VcBufferPool
+from .packet import recycle_packet
 
 __all__ = ["OutputPort", "ReferenceOutputPort", "Switch", "NUM_VCS", "VC_RESERVE_BYTES"]
 
@@ -94,6 +94,7 @@ class OutputPort:
         "_err_rng",
         "up",
         "pkts_dropped",
+        "recycle_drops",
         "_score_val",
         "_score_ok",
         "_score_now",
@@ -183,6 +184,11 @@ class OutputPort:
         # a failed one refuses new transmissions and has dropped its queue.
         self.up = True
         self.pkts_dropped = 0
+        #: return dropped packets to the free-list?  Off by default; the
+        #: fabric turns it on when recycling is configured, and the fault
+        #: injector turns it back off whenever end-to-end reliability is
+        #: attached (the retransmission tracker holds packet references).
+        self.recycle_drops = False
         # congestion_score cache: adaptive routing scores the same port
         # several times per arbitration tick (one per candidate set it
         # appears in).  The score is a pure function of backlog, pool
@@ -351,8 +357,8 @@ class OutputPort:
     def _try_send(self) -> None:
         # Plain regime (single uncapped class, wire up, no hooks, no
         # batching, no LLR): the arbitrate→credit→serialize cycle with
-        # every dead branch removed and both heap pushes inlined against
-        # the engine's documented _queue/_seq contract.  Must stay
+        # every dead branch removed, enqueuing through the engine's
+        # sim.push() producer contract.  Must stay
         # op-for-op equivalent to _try_send_general in this state —
         # ReferenceOutputPort always runs the general body, and the
         # delivery-path equivalence suite pins the two bit-identical.
@@ -385,11 +391,7 @@ class OutputPort:
                 self.marks_set += 1
             self.busy = True
             sim = self.sim
-            sim._seq += 1
-            heappush(
-                sim._queue,
-                (sim.now + size / self.bandwidth, sim._seq, self._on_sent, (pkt,)),
-            )
+            sim.push(sim.now + size / self.bandwidth, self._on_sent, (pkt,))
             return
         self._try_send_general()
 
@@ -604,20 +606,14 @@ class OutputPort:
         now = sim.now
         up = pkt.arrival_port
         if up is not None:
-            sim._seq += 1
-            heappush(
-                sim._queue,
-                (
-                    now + up.prop_delay,
-                    sim._seq,
-                    up.credits[pkt.tc].release,
-                    (size, pkt.arrival_vc, pkt.arrival_buf_shared),
-                ),
+            sim.push(
+                now + up.prop_delay,
+                up.credits[pkt.tc].release,
+                (size, pkt.arrival_vc, pkt.arrival_buf_shared),
             )
         prop = self.prop_delay
         pkt.prop_sum += prop
-        sim._seq += 1
-        heappush(sim._queue, (now + prop, sim._seq, self.rx.receive, (pkt, self)))
+        sim.push(now + prop, self.rx.receive, (pkt, self))
         # Tail send: in the plain regime start the next serialization
         # inline (the _try_send body with the busy/up/plain checks already
         # settled — busy was cleared three lines up); otherwise fall back
@@ -645,11 +641,7 @@ class OutputPort:
                 pkt.marked = True
                 self.marks_set += 1
             self.busy = True
-            sim._seq += 1
-            heappush(
-                sim._queue,
-                (now + size / self.bandwidth, sim._seq, self._on_sent, (pkt,)),
-            )
+            sim.push(now + size / self.bandwidth, self._on_sent, (pkt,))
             return
         self._try_send_general()
 
@@ -703,6 +695,11 @@ class OutputPort:
             )
         if self._telem is not None:
             self._telem.dropped(pkt, self)
+        elif self.recycle_drops and self._audit is None and not pkt.traced:
+            # Dropped with nobody watching: the packet is dead the moment
+            # the credit-release event above is scheduled (it captured
+            # scalars, not the packet), so recycle it.
+            recycle_packet(pkt)
 
     def recover(self) -> None:
         """Bring a failed wire back; parked traffic resumes immediately."""
@@ -851,10 +848,7 @@ class Switch:
         if self.telem is not None:
             self.telem.rx(pkt, self)
         sim = self.sim
-        sim._seq += 1
-        heappush(
-            sim._queue, (sim.now + self.latency, sim._seq, self._forward, (pkt,))
-        )
+        sim.push(sim.now + self.latency, self._forward, (pkt,))
 
     def _forward(self, pkt) -> None:
         hops = pkt.hops + 1

@@ -1,46 +1,74 @@
 """Discrete-event simulation core.
 
-The simulator keeps a binary heap of ``(time, seq, handler, args)``
-entries.  ``seq`` is a monotonically increasing sequence number that makes
-event ordering fully deterministic: two events scheduled for the same
-simulated time always fire in the order they were scheduled, regardless of
-Python hash randomization or heap internals.  Determinism is a hard
-requirement here — the property-based tests compare runs event-for-event.
+The simulator dispatches ``(time, seq, handler, args)`` entries in strict
+``(time, seq)`` order.  ``seq`` is a monotonically increasing sequence
+number that makes event ordering fully deterministic: two events scheduled
+for the same simulated time always fire in the order they were scheduled,
+regardless of Python hash randomization or container internals.
+Determinism is a hard requirement here — the property-based tests compare
+runs event-for-event.
+
+Two queue implementations share that total order bit-for-bit:
+
+* ``queue="calendar"`` (default) — a two-level calendar/ladder queue.  A
+  sorted *near* list holds every entry below a moving time ``horizon``;
+  everything later lands unsorted in a *far* overflow list.  Enqueues into
+  the near window are a ``bisect.insort`` that in steady state touches only
+  the tail (network events are scheduled a link delay ahead of ``now``),
+  and dequeue is an O(1) ``list.pop()``.  When the near list drains, a
+  *refill* carves the earliest time slice out of the far list (adaptive
+  width, targeting a few hundred entries per slice) and Timsort puts it in
+  order.  Entries are stored key-negated as ``(-time, -seq, fn, args)`` so
+  the minimum ``(time, seq)`` sits at the *end* of the ascending near list;
+  float negation is bit-exact, so dispatch order is identical to the heap.
+* ``queue="heap"`` — the original binary heap (``heapq``), retained as the
+  reference implementation and pinned against the calendar queue by an
+  event-for-event ``EventTrace`` equivalence suite.
 
 Cancellable timers use *lazy deletion*: :meth:`Simulator.schedule_cancellable`
 returns a :class:`TimerHandle` whose O(1) :meth:`~TimerHandle.cancel` blanks
 the handler; the run loop discards blanked entries without dispatching them
 (they do not count as processed events).  When dead entries ever make up
-more than half the heap it is compacted in one O(n) pass, so the queue
-stays proportional to the number of *live* timers no matter how often
-producers re-arm — retransmission storms used to grow the heap
-superlinearly through superseded one-shot timers.
+more than half the queue it is compacted in one O(n) pass (in place — the
+run loops hold direct references to the queue lists), so the queue stays
+proportional to the number of *live* timers no matter how often producers
+re-arm.
 
 Time is measured in **nanoseconds** (floats), sizes in **bytes**, and
 bandwidths in **bytes per nanosecond** (so 200 Gb/s == 25 B/ns).  These
 units are used consistently across the whole package; see
 ``repro.network.units`` for named constants and converters.
 
-Producer contract (stable): ``Simulator._queue`` is a plain heapq of
-``(time, seq, fn, args)`` tuples and ``Simulator._seq`` is the tie-break
-counter, incremented by exactly one per pushed entry.  The delivery fast
-path (``repro.network``) relies on this by inlining
+Producer contract (v2, stable): hot producers enqueue through
 
-    sim._seq += 1
-    heappush(sim._queue, (sim.now + delay, sim._seq, fn, args))
+    sim.push(t, fn, args)
 
-for its per-packet events, which is bit- and order-identical to
-:meth:`Simulator.schedule` minus the negative-delay guard and call
-frame.  Any change to the entry layout, the tie-break discipline, or the
-heap container must update those producers in the same commit (grep for
-``sim._seq += 1``).
+with an absolute time ``t >= sim.now`` and a pre-built args *tuple*.
+``push`` assigns the tie-break sequence number and routes the entry to
+whichever queue implementation this simulator runs — it is bit- and
+order-identical to :meth:`Simulator.schedule` minus the negative-delay
+guard and the ``*args`` packing frame.  The v1 contract (inlining
+``sim._seq += 1; heappush(sim._queue, ...)``) is retired: ``_queue`` only
+exists in heap mode, and no code outside this module may touch ``_seq``
+or the queue containers (grep for ``sim._seq`` / ``sim._queue`` must come
+up empty outside ``repro.sim``).
+
+Run loops are GC-aware on request: :attr:`Simulator.gc_policy` =
+``"disable"`` turns the cyclic collector off for the duration of
+:meth:`Simulator.run` (``"freeze"`` additionally moves the wired fabric
+into the permanent generation), restoring the collector's prior state on
+exit — including stall/exception exits, which also drain any registered
+free-lists so pooled objects never leak across runs in a reused worker
+process.
 """
 
 from __future__ import annotations
 
 import contextlib
+import gc as _gc
 import heapq
 import time
+from bisect import insort
 from typing import Any, Callable, Dict, List, Optional
 
 __all__ = [
@@ -57,6 +85,16 @@ __all__ = [
 #: repeated ``now + rto`` style arithmetic can land an attoseconds-stale
 #: deadline.  ``schedule_at`` clamps these to "now" instead of raising.
 _NEGATIVE_DRIFT_NS = 1e-6
+
+#: Calendar refill aims for about this many entries per near-window slice.
+#: Big enough that refill bookkeeping amortizes to noise, small enough
+#: that insorts into the near list stay short-memmove cheap.
+_REFILL_TARGET = 512
+
+#: Guarded run loop: events dispatched between wall-clock deadline checks.
+#: A tripped deadline is detected at most this many events late; the
+#: regression test pins that bound.
+_WALL_STRIDE = 256
 
 
 class StopSimulation(Exception):
@@ -196,8 +234,8 @@ class TimerHandle:
 
     Returned by :meth:`Simulator.schedule_cancellable` /
     :meth:`Simulator.schedule_at_cancellable`.  ``cancel()`` blanks the
-    handler; the heap entry stays behind (lazy deletion) and is skipped —
-    without being dispatched or counted — when it reaches the top.
+    handler; the queue entry stays behind (lazy deletion) and is skipped —
+    without being dispatched or counted — when it reaches the front.
     The run loop blanks the handle at dispatch, so cancelling after the
     timer fired, or twice, is a safe no-op (and ``cancelled`` reads True
     once the timer can no longer fire, for either reason).
@@ -221,9 +259,14 @@ class TimerHandle:
         self.args = ()
         sim = self.sim
         sim._dead += 1
-        # Amortized heap hygiene: rebuild once dead entries dominate.
-        if sim._dead > 64 and sim._dead * 2 > len(sim._queue):
-            sim._compact()
+        # Amortized queue hygiene: rebuild once dead entries dominate.
+        if sim._dead > 64:
+            if sim._heapmode:
+                qlen = len(sim._queue)
+            else:
+                qlen = len(sim._near) + len(sim._far)
+            if sim._dead * 2 > qlen:
+                sim._compact()
 
 
 class Event:
@@ -317,14 +360,22 @@ class Simulator:
     >>> sim.run()
     >>> hits
     ['b', 'a']
+
+    ``queue`` selects the event-queue implementation: ``"calendar"``
+    (default, amortized O(1) enqueue/dequeue) or ``"heap"`` (the binary
+    heap reference).  Both dispatch in bit-identical order.
     """
 
-    # Slotted: sim.now/_seq/_queue are the most-read attributes in the
-    # whole simulator (every event touches them, and the delivery fast
-    # path reads them inline), so they bypass the instance dict.
+    # Slotted: sim.now and the queue containers are the most-read
+    # attributes in the whole simulator (every event touches them), so
+    # they bypass the instance dict.
     __slots__ = (
         "now",
         "_queue",
+        "_near",
+        "_far",
+        "_horizon",
+        "_heapmode",
         "_seq",
         "_events_processed",
         "_stopped",
@@ -334,15 +385,32 @@ class Simulator:
         "event_hook",
         "_watchdog",
         "stall_diagnostics",
+        "_gc_policy",
+        "_drain_hooks",
     )
 
-    def __init__(self):
+    def __init__(self, queue: str = "calendar"):
+        if queue not in ("calendar", "heap"):
+            raise ValueError(f"unknown queue kind {queue!r} (calendar|heap)")
         self.now: float = 0.0
-        self._queue: list = []
+        self._heapmode: bool = queue == "heap"
+        #: heap mode only: plain heapq of (time, seq, fn, args)
+        self._queue: Optional[list] = [] if self._heapmode else None
+        #: calendar mode only: ascending-sorted list of negated-key
+        #: entries (-time, -seq, fn, args); the minimum (time, seq) event
+        #: is at the END and pop() is O(1).  Mutated strictly in place —
+        #: run loops hold direct references.
+        self._near: Optional[list] = None if self._heapmode else []
+        #: calendar mode only: unsorted overflow for entries at or past
+        #: the horizon; sliced into _near by _refill()
+        self._far: Optional[list] = None if self._heapmode else []
+        #: calendar mode only: entries strictly below this time belong in
+        #: _near.  Monotonically non-decreasing across refills.
+        self._horizon: float = 0.0
         self._seq: int = 0
         self._events_processed: int = 0
         self._stopped = False
-        #: cancelled-but-unpopped heap entries (lazy deletion bookkeeping)
+        #: cancelled-but-unpopped queue entries (lazy deletion bookkeeping)
         self._dead: int = 0
         # event-loop diagnostics for the telemetry scraper: how the last
         # run() call performed in *wall-clock* terms (pure observation;
@@ -361,15 +429,78 @@ class Simulator:
         #: snapshot, attached to any SimStall this simulator raises.  The
         #: fabric registers its quiescence_snapshot here at build time.
         self.stall_diagnostics: Optional[Callable[[], Dict[str, Any]]] = None
+        #: run-loop GC policy: None (leave the collector alone),
+        #: "disable" (gc.disable() for the duration of run()), or
+        #: "freeze" (additionally gc.freeze() the current heap).  The
+        #: collector's prior enabled state is restored on every exit path.
+        self._gc_policy: Optional[str] = None
+        #: free-list drain callables (register_free_list); invoked when a
+        #: run() escapes with an exception so pooled objects never leak
+        #: across runs in a reused worker process.
+        self._drain_hooks: List[Callable[[], Any]] = []
+
+    # -- queue configuration ----------------------------------------------
+
+    @property
+    def queue_kind(self) -> str:
+        """``"calendar"`` or ``"heap"`` — which implementation runs."""
+        return "heap" if self._heapmode else "calendar"
+
+    @property
+    def gc_policy(self) -> Optional[str]:
+        return self._gc_policy
+
+    @gc_policy.setter
+    def gc_policy(self, value: Optional[str]) -> None:
+        if value not in (None, "disable", "freeze"):
+            raise ValueError(
+                f"unknown gc_policy {value!r} (None|'disable'|'freeze')"
+            )
+        self._gc_policy = value
+
+    def register_free_list(self, drain: Callable[[], Any]) -> None:
+        """Register a zero-arg callable that empties an object pool.
+
+        Drains run when :meth:`run` exits with an exception (stall,
+        handler error) so recycled objects are never carried into a later
+        run of a reused process, and on :meth:`drain_free_lists`.
+        Registering the same callable twice is a no-op.
+        """
+        if drain not in self._drain_hooks:
+            self._drain_hooks.append(drain)
+
+    def drain_free_lists(self) -> None:
+        """Invoke every registered free-list drain (errors suppressed)."""
+        for drain in self._drain_hooks:
+            try:
+                drain()
+            except Exception:
+                pass
 
     # -- scheduling -------------------------------------------------------
+
+    def push(self, t: float, fn: Callable, args: tuple = ()) -> None:
+        """Enqueue ``fn(*args)`` at absolute time *t* — the producer API.
+
+        The stable hot-path contract (v2): *t* must already be validated
+        (``t >= now`` up to float drift) and *args* must be a tuple.  No
+        guards run here; :meth:`schedule` / :meth:`schedule_at` are the
+        checked front doors.  Exactly one sequence number is consumed per
+        call, in call order, for either queue kind.
+        """
+        seq = self._seq = self._seq + 1
+        if self._heapmode:
+            heapq.heappush(self._queue, (t, seq, fn, args))
+        elif t < self._horizon:
+            insort(self._near, (-t, -seq, fn, args))
+        else:
+            self._far.append((-t, -seq, fn, args))
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after *delay* ns of simulated time."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+        self.push(self.now + delay, fn, args)
 
     def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at absolute simulated time *when*.
@@ -385,15 +516,14 @@ class Simulator:
                     f"cannot schedule in the past (delay={delay})"
                 )
             delay = 0.0
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+        self.push(self.now + delay, fn, args)
 
     def schedule_abs(self, when: float, fn: Callable, *args: Any) -> None:
         """Like :meth:`schedule_at`, but enqueues at *exactly* ``when``.
 
         ``schedule_at`` computes ``now + (when - now)``, which need not
         round-trip in floating point.  Burst batching precomputes event
-        times arithmetically and needs them bit-exact on the heap.
+        times arithmetically and needs them bit-exact on the queue.
         """
         if when < self.now:
             if when < self.now - _NEGATIVE_DRIFT_NS:
@@ -401,8 +531,7 @@ class Simulator:
                     f"cannot schedule in the past (when={when} < now={self.now})"
                 )
             when = self.now
-        self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, fn, args))
+        self.push(when, fn, args)
 
     def schedule_cancellable(
         self, delay: float, fn: Callable, *args: Any
@@ -411,8 +540,8 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         handle = TimerHandle(self, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, None, handle))
+        # entry layout: fn=None marks a cancellable entry, args IS the handle
+        self.push(self.now + delay, None, handle)
         return handle
 
     def schedule_at_cancellable(
@@ -427,18 +556,105 @@ class Simulator:
                 )
             delay = 0.0
         handle = TimerHandle(self, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, None, handle))
+        self.push(self.now + delay, None, handle)
         return handle
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (keys unchanged, so live
-        event ordering is preserved exactly)."""
-        self._queue = [
-            e for e in self._queue if e[2] is not None or e[3].fn is not None
-        ]
-        heapq.heapify(self._queue)
+        """Drop cancelled entries in place (keys unchanged, so live event
+        ordering is preserved exactly).
+
+        In place matters: the run loops bind the queue containers to
+        locals, so rebuilding into a *new* list would strand events pushed
+        after a mid-run compaction (a cancel inside a dispatched handler
+        can get here while run() is on the stack).
+        """
+        if self._heapmode:
+            self._queue[:] = [
+                e for e in self._queue if e[2] is not None or e[3].fn is not None
+            ]
+            heapq.heapify(self._queue)
+        else:
+            # Filtering preserves ascending order in _near; _far is
+            # unsorted anyway.  The horizon does not move.
+            self._near[:] = [
+                e for e in self._near if e[2] is not None or e[3].fn is not None
+            ]
+            self._far[:] = [
+                e for e in self._far if e[2] is not None or e[3].fn is not None
+            ]
         self._dead = 0
+
+    def _refill(self) -> bool:
+        """Carve the earliest time slice of ``_far`` into ``_near``.
+
+        Called only with ``_near`` empty; returns False when ``_far`` is
+        empty too (queue drained).  On True, ``_near`` is non-empty,
+        ascending-sorted, and every entry left in ``_far`` is strictly
+        after (in ``(time, seq)`` order) every entry moved to ``_near`` —
+        the cross-list invariant the run loops rely on.
+
+        The slice width adapts to the event-time density: it aims for
+        about ``_REFILL_TARGET`` entries per slice so near-list insorts
+        stay cheap even when a workload's horizon spans retransmission
+        timeouts (milliseconds) and wire events (nanoseconds) at once.
+        """
+        far = self._far
+        if not far:
+            return False
+        near = self._near
+        n = len(far)
+        # Entries are key-negated: max(far) is the earliest (time, seq),
+        # min(far) the latest.
+        if n <= _REFILL_TARGET:
+            near.extend(far)
+            far.clear()
+            near.sort()
+            self._horizon = -near[0][0]  # max time taken
+            return True
+        tmin = -max(far)[0]
+        tmax = -min(far)[0]
+        span = tmax - tmin
+        if span <= 0.0:
+            # every entry at one timestamp — take them all
+            near.extend(far)
+            far.clear()
+            near.sort()
+            self._horizon = tmin
+            return True
+        horizon = tmin + span * _REFILL_TARGET / n
+        if horizon <= tmin:  # width underflowed to zero ulps
+            near.extend(far)
+            far.clear()
+            near.sort()
+            self._horizon = tmax
+            return True
+        nh = -horizon
+        batch = [e for e in far if e[0] > nh]
+        if not batch or len(batch) == n:
+            # float-boundary degeneracy — fall back to taking everything
+            near.extend(far)
+            far.clear()
+            near.sort()
+            self._horizon = tmax
+            return True
+        far[:] = [e for e in far if e[0] <= nh]
+        batch.sort()
+        near.extend(batch)
+        self._horizon = horizon
+        return True
+
+    def _next_time(self) -> Optional[float]:
+        """Timestamp of the next live-or-dead entry (None if drained).
+
+        May trigger a calendar refill; never dispatches.
+        """
+        if self._heapmode:
+            q = self._queue
+            return q[0][0] if q else None
+        near = self._near
+        if not near and not self._refill():
+            return None
+        return -near[-1][0]
 
     def watchdog(
         self,
@@ -454,7 +670,8 @@ class Simulator:
           event scheduled past it trips the guard (unlike ``run(until=)``,
           which silently stops — a watchdog trip is an *error*);
         * ``wall_deadline_s`` — wall-clock budget per :meth:`run` call,
-          checked every few hundred events.
+          checked every ``_WALL_STRIDE`` events (a trip is detected at
+          most one stride late, never per-event syscall cost).
 
         The guarded run loop is a separate code path: an unguarded
         simulator keeps the default hot loop untouched (one ``is None``
@@ -484,24 +701,64 @@ class Simulator:
 
         When *until* is given, ``now`` is advanced to exactly *until* even
         if the queue drains earlier, matching SimPy semantics.
+
+        With :attr:`gc_policy` set, the cyclic collector is disabled (and
+        under ``"freeze"`` the pre-run heap is frozen) for the duration;
+        its prior enabled state is restored on every exit path, and a
+        raising exit drains registered free-lists first.
         """
+        if self._gc_policy is None:
+            return self._run_dispatch(until)
+        was_enabled = _gc.isenabled()
+        _gc.disable()
+        frozen = False
+        if self._gc_policy == "freeze":
+            _gc.freeze()
+            frozen = True
+        try:
+            return self._run_dispatch(until)
+        except BaseException:
+            self.drain_free_lists()
+            raise
+        finally:
+            if frozen:
+                _gc.unfreeze()
+            if was_enabled:
+                _gc.enable()
+
+    def _run_dispatch(self, until: Optional[float]) -> None:
+        """Route to the loop variant for this queue kind / hook / guard."""
         if self._watchdog is not None:
-            return self._run_guarded(until)
+            if self._heapmode:
+                return self._run_guarded_heap(until)
+            return self._run_guarded_calendar(until)
         if self.event_hook is not None:
-            return self._run_hooked(until)
+            if self._heapmode:
+                return self._run_hooked_heap(until)
+            return self._run_hooked_calendar(until)
+        if self._heapmode:
+            return self._run_heap(until)
+        return self._run_calendar(until)
+
+    def _run_calendar(self, until: Optional[float]) -> None:
+        """Default hot loop (calendar queue, no hook, no watchdog)."""
         self._stopped = False
         wall_start = time.perf_counter()
         events_before = self._events_processed
-        # Hot loop: locals for the heap and its pop, the `until` test
-        # hoisted into a dedicated loop, and a dispatch-free fast skip for
-        # cancelled timers.  Two counters stay on `self` because handlers
-        # observe them mid-run (telemetry scrapers read events_processed).
-        queue = self._queue
-        pop = heapq.heappop
+        # Hot loop: the near list and its pop as locals (_refill extends
+        # it strictly in place, so the bindings stay valid), the `until`
+        # test hoisted into a dedicated loop, and a dispatch-free fast
+        # skip for cancelled timers.  Two counters stay on `self` because
+        # handlers observe them mid-run.
+        near = self._near
+        pop = near.pop
+        refill = self._refill
         try:
             if until is None:
-                while queue:
-                    t, _seq, fn, args = pop(queue)
+                while True:
+                    if not near and not refill():
+                        break
+                    nt, _nseq, fn, args = pop()
                     if fn is None:  # cancellable entry: args is the handle
                         handle = args
                         fn = handle.fn
@@ -511,6 +768,55 @@ class Simulator:
                         args = handle.args
                         # Blank at dispatch so a late cancel() is a true
                         # no-op instead of corrupting _dead accounting.
+                        handle.fn = None
+                        handle.args = ()
+                    self.now = -nt
+                    self._events_processed += 1
+                    fn(*args)
+            else:
+                while True:
+                    if not near and not refill():
+                        break
+                    if -near[-1][0] > until:
+                        break
+                    nt, _nseq, fn, args = pop()
+                    if fn is None:
+                        handle = args
+                        fn = handle.fn
+                        if fn is None:
+                            self._dead -= 1
+                            continue
+                        args = handle.args
+                        handle.fn = None
+                        handle.args = ()
+                    self.now = -nt
+                    self._events_processed += 1
+                    fn(*args)
+        except StopSimulation:
+            self._stopped = True
+        self.last_run_wall_s = time.perf_counter() - wall_start
+        self.last_run_events = self._events_processed - events_before
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
+
+    def _run_heap(self, until: Optional[float]) -> None:
+        """Hot loop for ``queue="heap"`` (the reference implementation)."""
+        self._stopped = False
+        wall_start = time.perf_counter()
+        events_before = self._events_processed
+        queue = self._queue
+        pop = heapq.heappop
+        try:
+            if until is None:
+                while queue:
+                    t, _seq, fn, args = pop(queue)
+                    if fn is None:
+                        handle = args
+                        fn = handle.fn
+                        if fn is None:
+                            self._dead -= 1
+                            continue
+                        args = handle.args
                         handle.fn = None
                         handle.args = ()
                     self.now = t
@@ -540,13 +846,44 @@ class Simulator:
         if until is not None and not self._stopped and self.now < until:
             self.now = until
 
-    def _run_hooked(self, until: Optional[float] = None) -> None:
-        """:meth:`run` variant taken when :attr:`event_hook` is set.
+    def _run_hooked_calendar(self, until: Optional[float]) -> None:
+        """Hooked loop (calendar): identical dispatch, hook sees each event."""
+        self._stopped = False
+        wall_start = time.perf_counter()
+        events_before = self._events_processed
+        near = self._near
+        refill = self._refill
+        hook = self.event_hook
+        try:
+            while True:
+                if not near and not refill():
+                    break
+                if until is not None and -near[-1][0] > until:
+                    break
+                nt, _nseq, fn, args = near.pop()
+                if fn is None:
+                    handle = args
+                    fn = handle.fn
+                    if fn is None:
+                        self._dead -= 1
+                        continue
+                    args = handle.args
+                    handle.fn = None
+                    handle.args = ()
+                t = -nt
+                self.now = t
+                self._events_processed += 1
+                hook(t, fn, args)
+                fn(*args)
+        except StopSimulation:
+            self._stopped = True
+        self.last_run_wall_s = time.perf_counter() - wall_start
+        self.last_run_events = self._events_processed - events_before
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
 
-        A separate loop keeps the default hot path byte-for-byte
-        untouched; dispatch order, timestamps, and event accounting are
-        identical — the hook observes each event just before it fires.
-        """
+    def _run_hooked_heap(self, until: Optional[float]) -> None:
+        """Hooked loop (heap reference)."""
         self._stopped = False
         wall_start = time.perf_counter()
         events_before = self._events_processed
@@ -586,19 +923,86 @@ class Simulator:
                 diag = self.stall_diagnostics()
             except Exception as exc:  # diagnostics must never mask the stall
                 diag = {"error": f"diagnostics failed: {exc!r}"}
-        next_ns = self._queue[0][0] if self._queue else None
         raise SimStall(
             reason,
             now=self.now,
             events_processed=self._events_processed,
-            queue_length=len(self._queue),
+            queue_length=self.queue_length,
             live_queue_length=self.live_queue_length,
-            next_event_ns=next_ns,
+            next_event_ns=self._next_time(),
             diagnostics=diag,
         )
 
-    def _run_guarded(self, until: Optional[float] = None) -> None:
-        """:meth:`run` variant taken when a watchdog is armed.
+    def _run_guarded_calendar(self, until: Optional[float]) -> None:
+        """Guarded loop (calendar).  See :meth:`_run_guarded_heap`.
+
+        A tripping guard pushes the undispatched entry back by appending
+        to the near list — the entry was just popped from the end, so the
+        list stays sorted and a later run() resumes exactly here.
+        """
+        max_events, max_time, wall_s = self._watchdog
+        event_budget = (
+            self._events_processed + max_events if max_events is not None else None
+        )
+        perf = time.perf_counter
+        wall_deadline = perf() + wall_s if wall_s is not None else None
+        self._stopped = False
+        wall_start = perf()
+        events_before = self._events_processed
+        near = self._near
+        refill = self._refill
+        hook = self.event_hook
+        wall_countdown = _WALL_STRIDE
+        try:
+            while True:
+                if not near and not refill():
+                    break
+                if until is not None and -near[-1][0] > until:
+                    break
+                entry = near.pop()
+                t = -entry[0]
+                fn = entry[2]
+                args = entry[3]
+                if fn is None:
+                    handle = args
+                    fn = handle.fn
+                    if fn is None:
+                        self._dead -= 1
+                        continue
+                    args = handle.args
+                if max_time is not None and t > max_time:
+                    near.append(entry)
+                    self._stall(f"sim time exceeded {max_time:.0f}ns")
+                if event_budget is not None and self._events_processed >= event_budget:
+                    near.append(entry)
+                    self._stall(f"event budget of {max_events} exhausted")
+                if wall_deadline is not None:
+                    wall_countdown -= 1
+                    if wall_countdown <= 0:
+                        wall_countdown = _WALL_STRIDE
+                        if perf() > wall_deadline:
+                            near.append(entry)
+                            self._stall(f"wall-clock deadline of {wall_s}s exceeded")
+                if entry[2] is None:
+                    # cancellable entry survives dispatch: blank it now so a
+                    # late cancel() stays a no-op (mirrors the hot loop).
+                    handle.fn = None
+                    handle.args = ()
+                self.now = t
+                self._events_processed += 1
+                if hook is not None:
+                    hook(t, fn, args)
+                fn(*args)
+        except StopSimulation:
+            self._stopped = True
+        finally:
+            self.last_run_wall_s = perf() - wall_start
+            self.last_run_events = self._events_processed - events_before
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
+
+    def _run_guarded_heap(self, until: Optional[float]) -> None:
+        """:meth:`run` variant taken when a watchdog is armed (heap).
 
         Dispatch order, timestamps, and event accounting are identical to
         the default loop; the guards only *bound* how far it gets.  A
@@ -606,23 +1010,25 @@ class Simulator:
         (the queue stays consistent — a later run() with the watchdog
         disarmed or widened resumes exactly where this one stopped) and
         raises :class:`SimStall`.  Honors :attr:`event_hook` too, so the
-        determinism differ and a watchdog can coexist.
+        determinism differ and a watchdog can coexist.  The wall-clock
+        deadline is checked once every ``_WALL_STRIDE`` events, not per
+        event — a syscall per dispatch is exactly the overhead the guard
+        exists to avoid.
         """
         max_events, max_time, wall_s = self._watchdog
         event_budget = (
             self._events_processed + max_events if max_events is not None else None
         )
-        wall_deadline = (
-            time.perf_counter() + wall_s if wall_s is not None else None
-        )
+        perf = time.perf_counter
+        wall_deadline = perf() + wall_s if wall_s is not None else None
         self._stopped = False
-        wall_start = time.perf_counter()
+        wall_start = perf()
         events_before = self._events_processed
         queue = self._queue
         pop = heapq.heappop
         push = heapq.heappush
         hook = self.event_hook
-        wall_countdown = 256
+        wall_countdown = _WALL_STRIDE
         try:
             while queue:
                 if until is not None and queue[0][0] > until:
@@ -645,13 +1051,11 @@ class Simulator:
                 if wall_deadline is not None:
                     wall_countdown -= 1
                     if wall_countdown <= 0:
-                        wall_countdown = 256
-                        if time.perf_counter() > wall_deadline:
+                        wall_countdown = _WALL_STRIDE
+                        if perf() > wall_deadline:
                             push(queue, entry)
                             self._stall(f"wall-clock deadline of {wall_s}s exceeded")
                 if entry[2] is None:
-                    # cancellable entry survives dispatch: blank it now so a
-                    # late cancel() stays a no-op (mirrors the hot loop).
                     handle.fn = None
                     handle.args = ()
                 self.now = t
@@ -662,7 +1066,7 @@ class Simulator:
         except StopSimulation:
             self._stopped = True
         finally:
-            self.last_run_wall_s = time.perf_counter() - wall_start
+            self.last_run_wall_s = perf() - wall_start
             self.last_run_events = self._events_processed - events_before
         if until is not None and not self._stopped and self.now < until:
             self.now = until
@@ -677,13 +1081,15 @@ class Simulator:
 
     @property
     def queue_length(self) -> int:
-        """Pending heap entries, *including* cancelled-but-unpopped ones."""
-        return len(self._queue)
+        """Pending queue entries, *including* cancelled-but-unpopped ones."""
+        if self._heapmode:
+            return len(self._queue)
+        return len(self._near) + len(self._far)
 
     @property
     def live_queue_length(self) -> int:
         """Pending entries that will actually dispatch."""
-        return len(self._queue) - self._dead
+        return self.queue_length - self._dead
 
     @property
     def events_per_wall_second(self) -> float:
